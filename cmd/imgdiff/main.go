@@ -1,0 +1,82 @@
+// Command imgdiff compares two rendered PNG frames with the paper's
+// quality metrics (PSNR, Section VII-D, plus SSIM for reference).
+//
+// Usage:
+//
+//	imgdiff baseline.png atfim.png
+package main
+
+import (
+	"fmt"
+	"image/png"
+	"os"
+
+	"repro/internal/quality"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: imgdiff <a.png> <b.png>")
+		os.Exit(2)
+	}
+	a, wa, ha, err := load(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	b, wb, hb, err := load(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+	if wa != wb || ha != hb {
+		fatal(fmt.Errorf("size mismatch: %dx%d vs %dx%d", wa, ha, wb, hb))
+	}
+	psnr, err := quality.PSNR(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	ssim, err := quality.SSIM(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	mse, err := quality.MSE(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("PSNR  %.2f dB\n", psnr)
+	fmt.Printf("SSIM  %.4f\n", ssim)
+	fmt.Printf("MSE   %.4f\n", mse)
+	if psnr >= 70 {
+		fmt.Println("verdict: differences imperceptible (PSNR >= 70, Section VII-D)")
+	} else if psnr >= 40 {
+		fmt.Println("verdict: minor differences")
+	} else {
+		fmt.Println("verdict: visible differences")
+	}
+}
+
+func load(path string) ([]uint32, int, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	img, err := png.Decode(f)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	bounds := img.Bounds()
+	w, h := bounds.Dx(), bounds.Dy()
+	pix := make([]uint32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r, g, b, a := img.At(bounds.Min.X+x, bounds.Min.Y+y).RGBA()
+			pix[y*w+x] = uint32(r>>8) | uint32(g>>8)<<8 | uint32(b>>8)<<16 | uint32(a>>8)<<24
+		}
+	}
+	return pix, w, h, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imgdiff:", err)
+	os.Exit(1)
+}

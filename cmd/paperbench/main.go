@@ -1,0 +1,84 @@
+// Command paperbench regenerates the paper's evaluation: every table and
+// figure of Section VII, printed as aligned text tables (optionally CSV).
+//
+// Usage:
+//
+//	paperbench                 # all experiments on the quick workload set
+//	paperbench -exp fig10      # one experiment
+//	paperbench -set full       # the complete Table II sweep (slow)
+//	paperbench -csv            # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all, or one of "+strings.Join(repro.ExperimentNames(), ", "))
+		set    = flag.String("set", "quick", "workload set: mini, quick, full")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	var wls []repro.WorkloadSpec
+	switch strings.ToLower(*set) {
+	case "mini":
+		wls = repro.MiniSet()
+	case "quick":
+		wls = repro.QuickSet()
+	case "full":
+		wls = repro.FullSet()
+	default:
+		fatal(fmt.Errorf("unknown workload set %q (mini, quick, full)", *set))
+	}
+
+	names := repro.ExperimentNames()
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		start := time.Now()
+		e, err := repro.RunExperiment(name, wls)
+		if err != nil {
+			fatal(err)
+		}
+		if *csvOut {
+			fmt.Printf("# %s\n%s\n", e.Name, e.Table.CSV())
+		} else {
+			fmt.Println(e.Table.String())
+		}
+		if len(e.Summary) > 0 {
+			fmt.Printf("summary:")
+			for _, k := range sortedKeys(e.Summary) {
+				fmt.Printf(" %s=%.3f", k, e.Summary[k])
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command pimsim runs one workload under one of the paper's four designs
+// and prints its performance, traffic, energy and quality measurements.
+//
+// Usage:
+//
+//	pimsim -game doom3 -width 640 -height 480 -design atfim \
+//	       -threshold 0.0314 -png frame.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/config"
+	"repro/internal/mem"
+)
+
+func main() {
+	var (
+		game       = flag.String("game", "doom3", "workload: doom3, fear, hl2, riddick, wolf")
+		width      = flag.Int("width", 640, "render width")
+		height     = flag.Int("height", 480, "render height")
+		designStr  = flag.String("design", "baseline", "design: baseline, bpim, stfim, atfim")
+		threshold  = flag.Float64("threshold", 0, "A-TFIM camera-angle threshold in radians (0 = paper default 0.01pi)")
+		noAniso    = flag.Bool("no-aniso", false, "disable anisotropic filtering (Fig 4 study)")
+		compressed = flag.Bool("compressed", false, "fixed-rate texture block compression (not with atfim)")
+		cubes      = flag.Int("cubes", 1, "number of HMC cubes (Section V-E)")
+		frames     = flag.Int("frames", 1, "number of frames to render")
+		pngPath    = flag.String("png", "", "write the rendered frame to this PNG file")
+		compare    = flag.Bool("psnr", false, "also render the baseline and report PSNR against it")
+	)
+	flag.Parse()
+
+	design, err := parseDesign(*designStr)
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := repro.Workload(*game, *width, *height)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := repro.Options{
+		Design:         design,
+		AngleThreshold: float32(*threshold),
+		DisableAniso:   *noAniso,
+		Compressed:     *compressed,
+		HMCCubes:       *cubes,
+		Frames:         *frames,
+	}
+	res, err := repro.Simulate(wl, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	f := res.Frame
+	p := f.Activity.Path
+	fmt.Printf("workload        %s (%s, %s)\n", wl.Name(), wl.Library, wl.Engine)
+	fmt.Printf("design          %s\n", design)
+	fmt.Printf("cycles          %d (%.1f FPS at 1 GHz)\n", f.Cycles, f.FPS(1.0))
+	fmt.Printf("fragments       %d (tex requests %d)\n", f.Activity.FragmentCount, p.TexRequests)
+	fmt.Printf("filter busy     %.0f cycles (mean latency %.1f)\n", p.FilterTime(), p.MeanLatency())
+	fmt.Printf("texture traffic %.2f MB\n", float64(f.Traffic.TextureBytes())/(1<<20))
+	fmt.Printf("total traffic   %.2f MB\n", float64(f.Traffic.Total())/(1<<20))
+	for c := mem.Class(0); c < mem.NumClasses; c++ {
+		fmt.Printf("  %-10s %5.1f%%\n", c, 100*f.Traffic.Share(c))
+	}
+	fmt.Printf("energy          %.4f J (%s)\n", res.Energy.Total(), energyBreakdown(res))
+	if design == config.ATFIM {
+		fmt.Printf("offloads        %d (angle recalcs %d)\n", p.OffloadPackets, p.AngleRecalcs)
+	}
+
+	if *compare && design != config.Baseline {
+		base, err := repro.Simulate(wl, repro.Options{Design: config.Baseline, Frames: *frames})
+		if err != nil {
+			fatal(err)
+		}
+		psnr, err := repro.PSNR(base.Image, res.Image)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("PSNR vs base    %.1f dB\n", psnr)
+	}
+
+	if *pngPath != "" {
+		out, err := os.Create(*pngPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+		if err := repro.WritePNG(out, res.Image, f.Width, f.Height); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("frame written   %s\n", *pngPath)
+	}
+}
+
+func parseDesign(s string) (repro.Design, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "base":
+		return config.Baseline, nil
+	case "bpim", "b-pim":
+		return config.BPIM, nil
+	case "stfim", "s-tfim":
+		return config.STFIM, nil
+	case "atfim", "a-tfim":
+		return config.ATFIM, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q (baseline, bpim, stfim, atfim)", s)
+	}
+}
+
+func energyBreakdown(res *repro.Result) string {
+	b := res.Energy
+	return fmt.Sprintf("shader %.1f%%, texture %.1f%%, memory %.1f%%, background %.1f%%",
+		100*b.Shader/b.Total(),
+		100*(b.TextureGPU+b.Caches+b.PIMLogic)/b.Total(),
+		100*(b.Links+b.DRAM)/b.Total(),
+		100*(b.Background+b.Leakage)/b.Total())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command tracegen captures the procedural game workloads into binary
+// trace files (the role ATTILA's captured traces play in the paper) and
+// can verify a trace by replaying it.
+//
+// Usage:
+//
+//	tracegen -out traces/                 # capture all five games
+//	tracegen -game doom3 -out traces/    # one game
+//	tracegen -verify traces/doom3-640x480.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/texture"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		game   = flag.String("game", "", "game to capture (empty = all)")
+		width  = flag.Int("width", 640, "render width")
+		height = flag.Int("height", 480, "render height")
+		outDir = flag.String("out", ".", "output directory")
+		verify = flag.String("verify", "", "verify an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *verify != "" {
+		if err := verifyTrace(*verify); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	games := workload.GameNames()
+	if *game != "" {
+		games = []string{*game}
+	}
+	for _, g := range games {
+		wl, err := workload.Get(g, *width, *height)
+		if err != nil {
+			fatal(err)
+		}
+		sc := wl.Scene()
+		path := filepath.Join(*outDir, wl.Name()+".trace")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		hdr := trace.Header{Name: wl.Name(), Width: wl.Width, Height: wl.Height}
+		err = trace.Write(f, hdr, sc, sc.TextureSpecs)
+		cerr := f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		info, _ := os.Stat(path)
+		fmt.Printf("captured %-22s %6d triangles, %2d textures, %d cameras, %d bytes\n",
+			path, sc.NumTriangles(), len(sc.Textures), len(sc.Cameras), info.Size())
+	}
+}
+
+func verifyTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr, sc, err := trace.Read(f, texture.LayoutMorton)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %s %dx%d, %d triangles, %d textures, %d cameras\n",
+		path, hdr.Name, hdr.Width, hdr.Height,
+		sc.NumTriangles(), len(sc.Textures), len(sc.Cameras))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+// The basic workflow: pick a Table II workload, simulate it under two
+// designs, and compare.
+func Example() {
+	wl, err := repro.Workload("doom3", 640, 480)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := repro.Simulate(wl, repro.Options{Design: repro.Baseline})
+	if err != nil {
+		log.Fatal(err)
+	}
+	atfim, err := repro.Simulate(wl, repro.Options{Design: repro.ATFIM})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A-TFIM speedup: %.2fx\n",
+		float64(base.Cycles())/float64(atfim.Cycles()))
+}
+
+// Sweeping the Section VII-D camera-angle thresholds to choose an
+// operating point on the performance-quality curve.
+func ExampleSimulate_angleThreshold() {
+	wl, _ := repro.Workload("hl2", 640, 480)
+	base, _ := repro.Simulate(wl, repro.Options{Design: repro.Baseline})
+	for _, th := range []float32{repro.Angle001Pi, repro.Angle005Pi} {
+		res, err := repro.Simulate(wl, repro.Options{
+			Design:         repro.ATFIM,
+			AngleThreshold: th,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		psnr, _ := repro.PSNR(base.Image, res.Image)
+		fmt.Printf("threshold %.4f: %.2fx at %.1f dB\n",
+			th, float64(base.Cycles())/float64(res.Cycles()), psnr)
+	}
+}
+
+// Regenerating one of the paper's figures over a workload set.
+func ExampleRunExperiment() {
+	exp, err := repro.RunExperiment("fig12", repro.MiniSet())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.Table.String())
+	fmt.Printf("S-TFIM average traffic: %.2fx baseline\n",
+		exp.Summary["avg_traffic_stfim"])
+}
+
+// Writing a rendered frame to disk for inspection.
+func ExampleWritePNG() {
+	wl, _ := repro.Workload("riddick", 640, 480)
+	res, err := repro.Simulate(wl, repro.Options{Design: repro.BPIM})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create("frame.png")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := repro.WritePNG(f, res.Image, wl.Width, wl.Height); err != nil {
+		log.Fatal(err)
+	}
+}

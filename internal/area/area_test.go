@@ -1,0 +1,67 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestParentTexelBufferMatchesPaper(t *testing.T) {
+	// Section VII-E: 256 entries x 45 bits = 1.41 KB.
+	o := ComputeHMC(config.Default(config.ATFIM))
+	if math.Abs(o.ParentTexelBufferKB-1.41) > 0.01 {
+		t.Fatalf("PTB %.3f KB, paper says 1.41 KB", o.ParentTexelBufferKB)
+	}
+	if math.Abs(o.ConsolidationKB-0.5) > 0.01 {
+		t.Fatalf("consolidation buffer %.3f KB, paper says 0.5 KB", o.ConsolidationKB)
+	}
+}
+
+func TestHMCOverheadFractionInPaperBand(t *testing.T) {
+	// The paper reports 3.18% of an 8Gb DRAM die; our CACTI-like model
+	// should land in the same low-single-digit band.
+	o := ComputeHMC(config.Default(config.ATFIM))
+	if o.FractionOfDie < 0.01 || o.FractionOfDie > 0.06 {
+		t.Fatalf("HMC overhead %.2f%% outside the paper's band", 100*o.FractionOfDie)
+	}
+	if o.TotalMM2 != o.StorageMM2+o.LogicMM2 {
+		t.Fatal("total != storage + logic")
+	}
+}
+
+func TestGPUAngleTagStorageMatchesPaper(t *testing.T) {
+	// Section VII-E: 7 bits per line; 0.21 KB per L1, 1.75 KB for L2,
+	// 4.2 KB total with 16 texture units.
+	o := ComputeGPU(config.Default(config.ATFIM))
+	if o.AngleBitsPerLine != 7 {
+		t.Fatalf("angle bits %d want 7", o.AngleBitsPerLine)
+	}
+	if math.Abs(o.L1ExtraKB-0.21) > 0.02 {
+		t.Fatalf("L1 extra %.3f KB, paper says 0.21 KB", o.L1ExtraKB)
+	}
+	if math.Abs(o.L2ExtraKB-1.75) > 0.02 {
+		t.Fatalf("L2 extra %.3f KB, paper says 1.75 KB", o.L2ExtraKB)
+	}
+	if math.Abs(o.TotalKB-(0.21*16+1.75)) > 0.2 {
+		t.Fatalf("total %.2f KB, paper says ~5.1 KB across the GPU", o.TotalKB)
+	}
+}
+
+func TestGPUOverheadTiny(t *testing.T) {
+	// The paper reports 0.23% of the GPU die; ours must stay well under 1%.
+	o := ComputeGPU(config.Default(config.ATFIM))
+	if o.FractionOfDie > 0.01 {
+		t.Fatalf("GPU overhead %.3f%% too large", 100*o.FractionOfDie)
+	}
+}
+
+func TestOverheadScalesWithConfig(t *testing.T) {
+	small := config.Default(config.ATFIM)
+	big := config.Default(config.ATFIM)
+	big.TFIM.ParentTexelBufferEntries *= 2
+	big.TFIM.TexelGenALUs *= 2
+	if ComputeHMC(big).TotalMM2 <= ComputeHMC(small).TotalMM2 {
+		t.Fatal("doubling structures did not grow area")
+	}
+}

@@ -1,0 +1,203 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTest(opts ...func(*Config)) *Cache {
+	cfg := Config{Name: "t", SizeBytes: 1024, Ways: 4, LineBytes: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg)
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newTest()
+	if r := c.Access(0x100, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0x100, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset.
+	if r := c.Access(0x13f, false); !r.Hit {
+		t.Fatal("same-line access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1024B / 64B / 4 ways = 4 sets. Fill one set (stride = sets*line).
+	c := newTest()
+	const stride = 4 * 64
+	for i := 0; i < 4; i++ {
+		c.Access(uint64(i)*stride, false)
+	}
+	// Touch line 0 so line 1 becomes LRU.
+	c.Access(0, false)
+	// Insert a fifth line into the set: must evict line 1 (the LRU).
+	c.Access(4*stride, false)
+	if !c.Probe(0) {
+		t.Error("recently used line 0 was evicted")
+	}
+	if c.Probe(stride) {
+		t.Error("LRU line 1 survived eviction")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions=%d want 1", c.Stats().Evictions)
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := newTest(func(cfg *Config) { cfg.WriteBack = true })
+	const stride = 4 * 64
+	c.Access(0, true) // dirty
+	for i := 1; i <= 4; i++ {
+		r := c.Access(uint64(i)*stride, false)
+		if i < 4 && r.Writeback {
+			t.Fatal("premature writeback")
+		}
+		if i == 4 {
+			if !r.Writeback {
+				t.Fatal("dirty line evicted without writeback")
+			}
+			if r.VictimAddr != 0 {
+				t.Fatalf("victim addr %#x want 0", r.VictimAddr)
+			}
+		}
+	}
+}
+
+func TestWriteThroughNeverWritesBack(t *testing.T) {
+	c := newTest() // write-through (WriteBack false)
+	const stride = 4 * 64
+	c.Access(0, true)
+	for i := 1; i <= 4; i++ {
+		if r := c.Access(uint64(i)*stride, false); r.Writeback {
+			t.Fatal("write-through cache produced a writeback")
+		}
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	c := newTest(func(cfg *Config) { cfg.WriteBack = true })
+	c.Access(0x000, true)
+	c.Access(0x440, true)
+	c.Access(0x880, false) // clean
+	dirty := c.FlushDirty()
+	if len(dirty) != 2 {
+		t.Fatalf("flushed %d lines, want 2", len(dirty))
+	}
+	if len(c.FlushDirty()) != 0 {
+		t.Fatal("second flush found dirty lines")
+	}
+}
+
+func TestAngleTagRejection(t *testing.T) {
+	c := newTest(func(cfg *Config) { cfg.AngleTags = true })
+	const thr = 0.05
+	c.AccessAngle(0x100, false, 0.30, thr)
+	// Within threshold: hit.
+	if r := c.AccessAngle(0x100, false, 0.33, thr); !r.Hit {
+		t.Fatal("within-threshold access missed")
+	}
+	// Beyond threshold: demoted to a recalculation miss.
+	r := c.AccessAngle(0x100, false, 0.50, thr)
+	if r.Hit || !r.AngleRejected {
+		t.Fatalf("expected angle rejection, got %+v", r)
+	}
+	if c.Stats().AngleRejects != 1 {
+		t.Errorf("angleRejects=%d want 1", c.Stats().AngleRejects)
+	}
+	// The stored angle was refreshed: the same angle now hits.
+	if r := c.AccessAngle(0x100, false, 0.50, thr); !r.Hit {
+		t.Fatal("refreshed angle did not hit")
+	}
+}
+
+func TestNegativeThresholdDisablesAngleCheck(t *testing.T) {
+	c := newTest(func(cfg *Config) { cfg.AngleTags = true })
+	c.AccessAngle(0x100, false, 0.0, -1)
+	if r := c.AccessAngle(0x100, false, 3.0, -1); !r.Hit {
+		t.Fatal("angle check should be disabled with negative threshold")
+	}
+}
+
+func TestDataLines(t *testing.T) {
+	c := newTest(func(cfg *Config) { cfg.DataLines = true })
+	r := c.Access(0x200, false)
+	if c.WordValid(r.LineIndex, 8) {
+		t.Fatal("fresh line has valid words")
+	}
+	c.SetWord(r.LineIndex, 8, 0xdeadbeef)
+	if !c.WordValid(r.LineIndex, 8) {
+		t.Fatal("stored word not valid")
+	}
+	if c.Word(r.LineIndex, 8) != 0xdeadbeef {
+		t.Fatal("stored word corrupted")
+	}
+	// Eviction must clear payload.
+	const stride = 4 * 64
+	for i := 1; i <= 4; i++ {
+		c.Access(0x200+uint64(i)*stride, false)
+	}
+	r2 := c.Access(0x200, false)
+	if r2.Hit || c.WordValid(r2.LineIndex, 8) {
+		t.Fatal("payload survived eviction")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := newTest()
+	c.Access(0x100, false)
+	c.Reset()
+	if c.Probe(0x100) {
+		t.Fatal("line survived reset")
+	}
+	if c.Stats().Accesses != 0 {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	bad := []Config{
+		{Name: "a", SizeBytes: 0, Ways: 4, LineBytes: 64},
+		{Name: "b", SizeBytes: 1024, Ways: 4, LineBytes: 60},     // non-pow2 line
+		{Name: "c", SizeBytes: 1024, Ways: 3, LineBytes: 64},     // lines%ways != 0... 16%3
+		{Name: "d", SizeBytes: 1024 * 3, Ways: 4, LineBytes: 64}, // sets not pow2
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q validated but should not", cfg.Name)
+		}
+	}
+}
+
+func TestRepeatAccessAlwaysHits(t *testing.T) {
+	// Property: accessing the same address twice in a row always hits the
+	// second time (no angle tags involved).
+	c := newTest(func(cfg *Config) { cfg.SizeBytes = 4096; cfg.Ways = 8 })
+	err := quick.Check(func(addrRaw uint32) bool {
+		addr := uint64(addrRaw)
+		c.Access(addr, false)
+		return c.Access(addr, false).Hit
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	s := Stats{Accesses: 10, Hits: 7}
+	if s.HitRate() != 0.7 {
+		t.Errorf("hit rate %g", s.HitRate())
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+}

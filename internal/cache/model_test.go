@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// refCache is a trivially-correct reference model: per-set LRU lists.
+type refCache struct {
+	sets     int
+	ways     int
+	lineBits uint
+	lru      [][]uint64 // most recent last
+}
+
+func newRefCache(sizeBytes, ways, lineBytes int) *refCache {
+	lines := sizeBytes / lineBytes
+	sets := lines / ways
+	bits := uint(0)
+	for 1<<bits < lineBytes {
+		bits++
+	}
+	r := &refCache{sets: sets, ways: ways, lineBits: bits}
+	r.lru = make([][]uint64, sets)
+	return r
+}
+
+func (r *refCache) access(addr uint64) bool {
+	line := addr >> r.lineBits
+	set := int(line % uint64(r.sets))
+	tag := line / uint64(r.sets)
+	list := r.lru[set]
+	for i, t := range list {
+		if t == tag {
+			// Move to most-recent position.
+			r.lru[set] = append(append(list[:i:i], list[i+1:]...), tag)
+			return true
+		}
+	}
+	list = append(list, tag)
+	if len(list) > r.ways {
+		list = list[1:]
+	}
+	r.lru[set] = list
+	return false
+}
+
+// TestCacheAgainstReferenceModel drives the production cache and the
+// reference LRU model with the same random access stream and requires
+// identical hit/miss decisions on every access.
+func TestCacheAgainstReferenceModel(t *testing.T) {
+	const (
+		size  = 4096
+		ways  = 4
+		line  = 64
+		steps = 200000
+	)
+	c := New(Config{Name: "m", SizeBytes: size, Ways: ways, LineBytes: line})
+	ref := newRefCache(size, ways, line)
+	rng := xrand.New(0xCAC4E)
+	for i := 0; i < steps; i++ {
+		// Skewed address distribution: mostly a hot region, sometimes cold.
+		var addr uint64
+		if rng.Float32() < 0.8 {
+			addr = uint64(rng.Intn(size * 2))
+		} else {
+			addr = uint64(rng.Intn(1 << 24))
+		}
+		got := c.Access(addr, rng.Float32() < 0.3).Hit
+		want := ref.access(addr)
+		if got != want {
+			t.Fatalf("step %d addr %#x: cache hit=%v, reference hit=%v", i, addr, got, want)
+		}
+	}
+	s := c.Stats()
+	if s.Accesses != steps {
+		t.Fatalf("access count %d want %d", s.Accesses, steps)
+	}
+	if s.Hits+s.Misses != s.Accesses {
+		t.Fatal("hits + misses != accesses")
+	}
+}
+
+// TestCacheStatsInvariants checks counter consistency under a random
+// angle-tagged workload.
+func TestCacheStatsInvariants(t *testing.T) {
+	c := New(Config{Name: "inv", SizeBytes: 2048, Ways: 2, LineBytes: 64,
+		WriteBack: true, AngleTags: true, DataLines: true})
+	rng := xrand.New(7)
+	writebacks := uint64(0)
+	for i := 0; i < 100000; i++ {
+		addr := uint64(rng.Intn(1 << 16))
+		angle := rng.Float32()
+		r := c.AccessAngle(addr, rng.Float32() < 0.5, angle, 0.2)
+		if r.Writeback {
+			writebacks++
+		}
+		if r.Hit && r.AngleRejected {
+			t.Fatal("a hit cannot also be angle-rejected")
+		}
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != s.Accesses {
+		t.Fatal("hits + misses != accesses")
+	}
+	if s.AngleRejects > s.Misses {
+		t.Fatal("more angle rejects than misses")
+	}
+	if s.Writebacks < writebacks {
+		t.Fatal("writeback stat below observed writebacks")
+	}
+}

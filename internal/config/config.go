@@ -1,0 +1,256 @@
+// Package config holds the simulator configuration corresponding to the
+// paper's Table I, plus the design selector (Baseline / B-PIM / S-TFIM /
+// A-TFIM) and the A-TFIM camera-angle thresholds swept in Section VII-D.
+package config
+
+import (
+	"fmt"
+	"math"
+)
+
+// Design selects which of the paper's four architectures to simulate.
+type Design uint8
+
+const (
+	// Baseline is the GDDR5-backed GPU with all filtering on chip.
+	Baseline Design = iota
+	// BPIM replaces GDDR5 with an HMC used as plain memory (Section III).
+	BPIM
+	// STFIM moves all texture units into the HMC logic layer (Section IV).
+	STFIM
+	// ATFIM moves only anisotropic filtering into the HMC, reordered to
+	// run first, with camera-angle-tagged texture caches (Section V).
+	ATFIM
+	// NumDesigns is the number of designs.
+	NumDesigns
+)
+
+// String returns the paper's name for the design.
+func (d Design) String() string {
+	switch d {
+	case Baseline:
+		return "Baseline"
+	case BPIM:
+		return "B-PIM"
+	case STFIM:
+		return "S-TFIM"
+	case ATFIM:
+		return "A-TFIM"
+	default:
+		return fmt.Sprintf("design(%d)", uint8(d))
+	}
+}
+
+// AllDesigns lists the four designs in the paper's presentation order.
+func AllDesigns() []Design { return []Design{Baseline, BPIM, STFIM, ATFIM} }
+
+// Camera-angle thresholds (radians) from Section VII-D. The default is
+// 0.01pi (1.8 degrees).
+const (
+	Angle0005Pi = 0.005 * math.Pi
+	Angle001Pi  = 0.01 * math.Pi
+	Angle005Pi  = 0.05 * math.Pi
+	Angle01Pi   = 0.1 * math.Pi
+	// AngleNoRecalc disables recalculation entirely (least strict).
+	AngleNoRecalc = math.Pi
+)
+
+// AngleThresholds returns the swept thresholds in most-strict-first order
+// with their paper labels.
+func AngleThresholds() []struct {
+	Label string
+	Value float32
+} {
+	return []struct {
+		Label string
+		Value float32
+	}{
+		{"A-TFIM-0005pi", Angle0005Pi},
+		{"A-TFIM-001pi", Angle001Pi},
+		{"A-TFIM-005pi", Angle005Pi},
+		{"A-TFIM-01pi", Angle01Pi},
+		{"A-TFIM-no", AngleNoRecalc},
+	}
+}
+
+// GPU holds the host-GPU parameters of Table I.
+type GPU struct {
+	// Clusters is the number of unified-shader clusters.
+	Clusters int
+	// ShadersPerCluster is the unified shaders per cluster.
+	ShadersPerCluster int
+	// ClockGHz is the GPU core clock.
+	ClockGHz float64
+	// TileSize is the rasterizer tile edge.
+	TileSize int
+	// TextureUnits is the number of GPU texture units (0 for S-TFIM).
+	TextureUnits int
+	// AddrALUs and FilterALUs size each texture unit.
+	AddrALUs   int
+	FilterALUs int
+	// MaxAniso is the maximum anisotropic filtering degree.
+	MaxAniso int
+	// TexL1KB, TexL1Ways configure each texture L1 cache.
+	TexL1KB, TexL1Ways int
+	// TexL2KB, TexL2Ways configure the shared texture L2 cache.
+	TexL2KB, TexL2Ways int
+	// ZCacheKB and ColorCacheKB configure the ROP caches.
+	ZCacheKB, ColorCacheKB int
+	// MSHRs bounds outstanding texture misses per texture unit.
+	MSHRs int
+	// ROPRate is fragments retired per cycle per ROP partition.
+	ROPRate int
+	// ROPs is the number of ROP partitions.
+	ROPs int
+}
+
+// TFIM holds the in-memory filtering parameters (Sections IV-V).
+type TFIM struct {
+	// MTUs is the number of memory texture units for S-TFIM.
+	MTUs int
+	// MTUAddrALUs / MTUFilterALUs size each MTU.
+	MTUAddrALUs, MTUFilterALUs int
+	// TexelGenALUs is the A-TFIM Texel Generator ALU count.
+	TexelGenALUs int
+	// CombineALUs is the A-TFIM Combination Unit ALU count.
+	CombineALUs int
+	// ParentTexelBufferEntries sizes the Parent Texel Buffer.
+	ParentTexelBufferEntries int
+	// RequestQueueEntries sizes the MTU texture-request queue.
+	RequestQueueEntries int
+	// OffloadPackageFactor is the size of a parent-texel offload package
+	// relative to a normal read request (4x per Section VI).
+	OffloadPackageFactor int
+	// AngleThreshold is the camera-angle reuse threshold (radians).
+	AngleThreshold float32
+	// Consolidate enables the Child Texel Consolidation unit.
+	Consolidate bool
+}
+
+// Config is the complete simulator configuration.
+type Config struct {
+	Design Design
+	GPU    GPU
+	TFIM   TFIM
+	// MemClockGHz is the memory clock (both GDDR5 and HMC per Table I).
+	MemClockGHz float64
+	// GDDR5GBs is the baseline off-chip bandwidth.
+	GDDR5GBs float64
+	// HMCExternalGBs and HMCInternalGBs are the cube bandwidths.
+	HMCExternalGBs, HMCInternalGBs float64
+	// HMCVaults and HMCBanksPerVault shape the cube.
+	HMCVaults, HMCBanksPerVault int
+	// MortonLayout selects Morton (true) or linear texel addressing.
+	MortonLayout bool
+	// AnisoEnabled can be cleared to reproduce the Fig. 4 study.
+	AnisoEnabled bool
+	// TextureCompression enables fixed-rate block compression of texture
+	// storage (the orthogonal traffic-reduction technique of Section
+	// VIII). Applies to the on-chip filtering designs; A-TFIM's in-memory
+	// parent-texel computation assumes uncompressed texel storage.
+	TextureCompression bool
+}
+
+// Default returns the Table I configuration for the given design with the
+// paper's default 0.01pi angle threshold.
+func Default(d Design) Config {
+	c := Config{
+		Design: d,
+		GPU: GPU{
+			Clusters:          16,
+			ShadersPerCluster: 16,
+			ClockGHz:          1.0,
+			TileSize:          16,
+			TextureUnits:      16,
+			AddrALUs:          8,
+			FilterALUs:        8,
+			MaxAniso:          16,
+			TexL1KB:           16,
+			TexL1Ways:         16,
+			TexL2KB:           128,
+			TexL2Ways:         16,
+			ZCacheKB:          32,
+			ColorCacheKB:      32,
+			MSHRs:             64,
+			ROPRate:           4,
+			ROPs:              8,
+		},
+		TFIM: TFIM{
+			MTUs:                     16,
+			MTUAddrALUs:              8,
+			MTUFilterALUs:            8,
+			TexelGenALUs:             16,
+			CombineALUs:              16,
+			ParentTexelBufferEntries: 256,
+			RequestQueueEntries:      256,
+			OffloadPackageFactor:     4,
+			AngleThreshold:           Angle001Pi,
+			Consolidate:              true,
+		},
+		MemClockGHz:      1.25,
+		GDDR5GBs:         128,
+		HMCExternalGBs:   320,
+		HMCInternalGBs:   512,
+		HMCVaults:        32,
+		HMCBanksPerVault: 8,
+		MortonLayout:     true,
+		AnisoEnabled:     true,
+	}
+	if d == STFIM {
+		// S-TFIM removes the GPU texture units (and with them the GPU
+		// texture caches): Table I lists 0 texture units for S-TFIM.
+		c.GPU.TextureUnits = 0
+	}
+	return c
+}
+
+// Validate checks cross-field consistency.
+func (c Config) Validate() error {
+	if c.GPU.Clusters <= 0 || c.GPU.ShadersPerCluster <= 0 {
+		return fmt.Errorf("config: non-positive shader geometry")
+	}
+	if c.Design != STFIM && c.GPU.TextureUnits <= 0 {
+		return fmt.Errorf("config: %s requires GPU texture units", c.Design)
+	}
+	if c.Design == STFIM && c.TFIM.MTUs <= 0 {
+		return fmt.Errorf("config: S-TFIM requires MTUs")
+	}
+	if c.GPU.MaxAniso < 1 {
+		return fmt.Errorf("config: MaxAniso must be >= 1")
+	}
+	if c.TFIM.AngleThreshold < 0 {
+		return fmt.Errorf("config: negative angle threshold")
+	}
+	if c.GDDR5GBs <= 0 || c.HMCExternalGBs <= 0 || c.HMCInternalGBs <= 0 {
+		return fmt.Errorf("config: non-positive bandwidth")
+	}
+	if c.TextureCompression && c.Design == ATFIM {
+		return fmt.Errorf("config: texture compression is not supported with A-TFIM (in-memory parent texel computation assumes uncompressed storage)")
+	}
+	return nil
+}
+
+// UsesHMC reports whether the design's memory is an HMC.
+func (c Config) UsesHMC() bool { return c.Design != Baseline }
+
+// TableI renders the configuration as the paper's Table I rows.
+func (c Config) TableI() [][2]string {
+	rows := [][2]string{
+		{"Number of cluster", fmt.Sprintf("%d", c.GPU.Clusters)},
+		{"Unified shader per cluster", fmt.Sprintf("%d", c.GPU.ShadersPerCluster)},
+		{"Unified shader configuration", "simd4-scale ALUs, 4 shader elements, 16x16 tile size"},
+		{"GPU frequency", fmt.Sprintf("%.0f GHz", c.GPU.ClockGHz)},
+		{"Number of GPU Texture Units", fmt.Sprintf("%d", c.GPU.TextureUnits)},
+		{"Texture unit configuration", fmt.Sprintf("%d address ALUs, %d filtering ALUs", c.GPU.AddrALUs, c.GPU.FilterALUs)},
+		{"Texture L1 cache", fmt.Sprintf("%dKB, %d-way", c.GPU.TexL1KB, c.GPU.TexL1Ways)},
+		{"Texture L2 cache", fmt.Sprintf("%dKB, %d-way", c.GPU.TexL2KB, c.GPU.TexL2Ways)},
+		{"Off-chip bandwidth", fmt.Sprintf("%.0fGB/s for GDDR5, %.0f GB/s total for HMC", c.GDDR5GBs, c.HMCExternalGBs)},
+		{"Memory frequency", fmt.Sprintf("%.2f GHz", c.MemClockGHz)},
+		{"HMC configuration", fmt.Sprintf("%d vaults, %d banks/vault, 1 cycle TSV latency", c.HMCVaults, c.HMCBanksPerVault)},
+		{"Number of MTU (S-TFIM)", fmt.Sprintf("%d", c.TFIM.MTUs)},
+		{"MTU configuration", fmt.Sprintf("%d address ALUs, %d filtering ALUs", c.TFIM.MTUAddrALUs, c.TFIM.MTUFilterALUs)},
+		{"Texel Generator (A-TFIM)", fmt.Sprintf("%d address ALUs", c.TFIM.TexelGenALUs)},
+		{"Combination Unit (A-TFIM)", fmt.Sprintf("%d filtering ALUs", c.TFIM.CombineALUs)},
+	}
+	return rows
+}

@@ -1,0 +1,123 @@
+package config
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultsValid(t *testing.T) {
+	for _, d := range AllDesigns() {
+		if err := Default(d).Validate(); err != nil {
+			t.Errorf("%s default invalid: %v", d, err)
+		}
+	}
+}
+
+func TestSTFIMHasNoGPUTextureUnits(t *testing.T) {
+	cfg := Default(STFIM)
+	if cfg.GPU.TextureUnits != 0 {
+		t.Fatalf("S-TFIM has %d GPU texture units, Table I says 0", cfg.GPU.TextureUnits)
+	}
+	if cfg.TFIM.MTUs != 16 {
+		t.Fatalf("S-TFIM has %d MTUs, Table I says 16", cfg.TFIM.MTUs)
+	}
+}
+
+func TestTableIValues(t *testing.T) {
+	cfg := Default(Baseline)
+	if cfg.GPU.Clusters != 16 || cfg.GPU.ShadersPerCluster != 16 {
+		t.Error("shader geometry differs from Table I")
+	}
+	if cfg.GDDR5GBs != 128 || cfg.HMCExternalGBs != 320 || cfg.HMCInternalGBs != 512 {
+		t.Error("bandwidths differ from Table I / HMC 2.0")
+	}
+	if cfg.HMCVaults != 32 || cfg.HMCBanksPerVault != 8 {
+		t.Error("HMC geometry differs from Table I")
+	}
+	if cfg.GPU.TexL1KB != 16 || cfg.GPU.TexL2KB != 128 {
+		t.Error("texture cache sizes differ from Table I")
+	}
+	if cfg.GPU.MaxAniso != 16 {
+		t.Error("max anisotropy differs from the paper's 16x")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cfg := Default(Baseline)
+	cfg.GPU.TextureUnits = 0
+	if cfg.Validate() == nil {
+		t.Error("baseline without texture units validated")
+	}
+
+	cfg = Default(STFIM)
+	cfg.TFIM.MTUs = 0
+	if cfg.Validate() == nil {
+		t.Error("S-TFIM without MTUs validated")
+	}
+
+	cfg = Default(ATFIM)
+	cfg.TFIM.AngleThreshold = -1
+	if cfg.Validate() == nil {
+		t.Error("negative angle threshold validated")
+	}
+
+	cfg = Default(Baseline)
+	cfg.GDDR5GBs = 0
+	if cfg.Validate() == nil {
+		t.Error("zero bandwidth validated")
+	}
+}
+
+func TestDesignStrings(t *testing.T) {
+	want := map[Design]string{
+		Baseline: "Baseline", BPIM: "B-PIM", STFIM: "S-TFIM", ATFIM: "A-TFIM",
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d.String()=%q want %q", d, d.String(), s)
+		}
+	}
+}
+
+func TestAngleThresholdsOrderedStrictFirst(t *testing.T) {
+	ths := AngleThresholds()
+	if len(ths) != 5 {
+		t.Fatalf("%d thresholds, paper sweeps 5", len(ths))
+	}
+	for i := 1; i < len(ths); i++ {
+		if ths[i].Value <= ths[i-1].Value {
+			t.Fatal("thresholds not strictly increasing")
+		}
+	}
+	if math.Abs(float64(ths[1].Value)-0.01*math.Pi) > 1e-6 {
+		t.Errorf("default threshold %g, paper uses 0.01pi", ths[1].Value)
+	}
+}
+
+func TestUsesHMC(t *testing.T) {
+	if Default(Baseline).UsesHMC() {
+		t.Error("baseline should not use HMC")
+	}
+	for _, d := range []Design{BPIM, STFIM, ATFIM} {
+		if !Default(d).UsesHMC() {
+			t.Errorf("%s should use HMC", d)
+		}
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	rows := Default(ATFIM).TableI()
+	if len(rows) < 10 {
+		t.Fatalf("Table I has %d rows", len(rows))
+	}
+	joined := ""
+	for _, r := range rows {
+		joined += r[0] + "=" + r[1] + "\n"
+	}
+	for _, want := range []string{"16", "128GB/s", "32 vaults", "1 cycle TSV"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}

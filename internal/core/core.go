@@ -1,0 +1,251 @@
+// Package core wires the paper's four designs together (memory backend +
+// texture path + GPU pipeline), runs workloads under them, and implements
+// every evaluation experiment (the figures and tables of Section VII).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/gpu"
+	"repro/internal/hmc"
+	"repro/internal/mem"
+	"repro/internal/scene"
+	"repro/internal/texture"
+	"repro/internal/tfim"
+	"repro/internal/workload"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Design selects the architecture.
+	Design config.Design
+	// AngleThreshold overrides the A-TFIM camera-angle threshold when > 0.
+	AngleThreshold float32
+	// DisableAniso reproduces the Fig. 4 study (anisotropic filtering off).
+	DisableAniso bool
+	// FrameIndex selects the camera frame (default: mid-flythrough).
+	FrameIndex int
+	// Frames renders this many consecutive frames (default 1).
+	Frames int
+	// LinearLayout forces row-major texel addressing (ablation).
+	LinearLayout bool
+	// DisableConsolidation turns off Child Texel Consolidation (ablation).
+	DisableConsolidation bool
+	// MTUs overrides the S-TFIM MTU count when > 0 (ablation).
+	MTUs int
+	// Compressed enables fixed-rate texture block compression (ablation;
+	// not supported with A-TFIM).
+	Compressed bool
+	// HMCCubes sets the number of HMC cubes attached to the GPU (Section
+	// V-E's multi-HMC scenario); 0 or 1 means a single cube.
+	HMCCubes int
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Workload workload.Workload
+	Design   config.Design
+	Options  Options
+	// Frame holds the (accumulated) measurements.
+	Frame *gpu.FrameResult
+	// Energy is the estimated energy of the run.
+	Energy energy.Breakdown
+	// Image is the last rendered frame.
+	Image []uint32
+
+	path gpu.TexturePath
+}
+
+// PathDebug returns the texture path's diagnostic string, if it has one.
+func (r *Result) PathDebug() string {
+	if d, ok := r.path.(interface{ DebugString() string }); ok {
+		return d.DebugString()
+	}
+	return ""
+}
+
+// TextureTraffic returns the texture-class bytes moved between GPU and
+// memory (the Fig. 12 metric).
+func (r *Result) TextureTraffic() uint64 { return r.Frame.Traffic.TextureBytes() }
+
+// TotalTraffic returns all GPU<->memory bytes.
+func (r *Result) TotalTraffic() uint64 { return r.Frame.Traffic.Total() }
+
+// TexFilterLatency returns the mean texture-filtering latency in cycles.
+func (r *Result) TexFilterLatency() float64 { return r.Frame.TexFilterLatency() }
+
+// Cycles returns the total render time in GPU cycles.
+func (r *Result) Cycles() int64 { return r.Frame.Cycles }
+
+// trafficReporter is implemented by texture paths that track their own
+// GPU<->memory traffic.
+type trafficReporter interface{ Traffic() *mem.Traffic }
+
+// buildConfig derives the design configuration from options.
+func buildConfig(opts Options) config.Config {
+	cfg := config.Default(opts.Design)
+	if opts.AngleThreshold > 0 {
+		cfg.TFIM.AngleThreshold = opts.AngleThreshold
+	}
+	if opts.DisableAniso {
+		cfg.AnisoEnabled = false
+	}
+	if opts.LinearLayout {
+		cfg.MortonLayout = false
+	}
+	if opts.DisableConsolidation {
+		cfg.TFIM.Consolidate = false
+	}
+	if opts.MTUs > 0 {
+		cfg.TFIM.MTUs = opts.MTUs
+	}
+	if opts.Compressed {
+		cfg.TextureCompression = true
+	}
+	return cfg
+}
+
+// buildDesign constructs the backend and texture path for a configuration.
+func buildDesign(cfg config.Config, cubes int) (mem.Backend, gpu.TexturePath, hmc.Cube) {
+	switch cfg.Design {
+	case config.Baseline:
+		d := dram.DefaultConfig()
+		d.MemClockGHz = cfg.MemClockGHz
+		backend := dram.New(d)
+		return backend, tfim.NewBaselinePath(cfg, backend), nil
+	case config.BPIM:
+		cube := newCube(cfg, cubes)
+		return cube, tfim.NewBaselinePath(cfg, cube), cube
+	case config.STFIM:
+		cube := newCube(cfg, cubes)
+		return cube, tfim.NewSTFIMPath(cfg, cube), cube
+	case config.ATFIM:
+		cube := newCube(cfg, cubes)
+		return cube, tfim.NewATFIMPath(cfg, cube), cube
+	default:
+		panic(fmt.Sprintf("core: unknown design %v", cfg.Design))
+	}
+}
+
+func newCube(cfg config.Config, cubes int) hmc.Cube {
+	h := hmc.DefaultConfig()
+	h.Vaults = cfg.HMCVaults
+	h.BanksPerVault = cfg.HMCBanksPerVault
+	h.ExternalGBs = cfg.HMCExternalGBs
+	h.InternalGBs = cfg.HMCInternalGBs
+	h.MemClockGHz = cfg.MemClockGHz
+	if cubes > 1 {
+		return hmc.NewArray(cubes, h)
+	}
+	return hmc.New(h)
+}
+
+// sceneCache memoizes generated scenes; generation is deterministic per
+// spec and scenes are immutable once addresses are assigned, so runs of
+// different designs share them.
+var (
+	sceneCacheMu sync.Mutex
+	sceneCache   = map[string]*scene.Scene{}
+)
+
+func cachedScene(spec scene.Spec, compressed bool) *scene.Scene {
+	key := fmt.Sprintf("%s/%d/%v/%v", spec.Name, spec.Seed, spec.Layout, compressed)
+	sceneCacheMu.Lock()
+	defer sceneCacheMu.Unlock()
+	if sc, ok := sceneCache[key]; ok {
+		return sc
+	}
+	sc := scene.Generate(spec)
+	if compressed {
+		for _, tx := range sc.Textures {
+			tx.Compress()
+		}
+	}
+	sc.AssignTextureAddresses(mem.RegionTexture)
+	sceneCache[key] = sc
+	return sc
+}
+
+// Run simulates a workload under the given options and returns its
+// measurements.
+func Run(wl workload.Workload, opts Options) (*Result, error) {
+	cfg := buildConfig(opts)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec := wl.Spec
+	if !cfg.MortonLayout {
+		spec.Layout = texture.LayoutLinear
+	}
+	return runScene(cachedScene(spec, cfg.TextureCompression), wl, cfg, opts)
+}
+
+// RunScene simulates a pre-built scene (used by trace replay and tests).
+func RunScene(sc *scene.Scene, wl workload.Workload, opts Options) (*Result, error) {
+	cfg := buildConfig(opts)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return runScene(sc, wl, cfg, opts)
+}
+
+func runScene(sc *scene.Scene, wl workload.Workload, cfg config.Config, opts Options) (*Result, error) {
+	backend, path, cube := buildDesign(cfg, opts.HMCCubes)
+	pipe := gpu.NewPipeline(cfg, wl.Width, wl.Height, backend, path)
+
+	frames := opts.Frames
+	if frames < 1 {
+		frames = 1
+	}
+	start := opts.FrameIndex
+	if start == 0 {
+		start = len(sc.Cameras) / 2
+	}
+	if start >= len(sc.Cameras) {
+		start = len(sc.Cameras) - 1
+	}
+
+	var acc *gpu.FrameResult
+	for f := 0; f < frames; f++ {
+		idx := start + f
+		if idx >= len(sc.Cameras) {
+			idx = len(sc.Cameras) - 1
+		}
+		res, err := pipe.RenderFrame(sc, idx)
+		if err != nil {
+			return nil, err
+		}
+		// Merge the texture path's traffic into the frame traffic.
+		if tr, ok := path.(trafficReporter); ok {
+			res.Traffic.Add(tr.Traffic())
+		}
+		// Fill the external/internal byte counts for the energy model.
+		res.Activity.ExternalBytes = res.Traffic.Total()
+		if cube != nil {
+			res.Activity.InternalBytes = cube.TotalStats().VaultBytes
+		}
+		if acc == nil {
+			acc = res
+		} else {
+			acc.Accumulate(res)
+		}
+	}
+
+	model := energy.DefaultModel()
+	model.ClockGHz = cfg.GPU.ClockGHz
+	bd := model.Estimate(acc, cfg.UsesHMC())
+
+	return &Result{
+		Workload: wl,
+		Design:   cfg.Design,
+		Options:  opts,
+		Frame:    acc,
+		Energy:   bd,
+		Image:    acc.Image,
+		path:     path,
+	}, nil
+}

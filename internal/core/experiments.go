@@ -1,0 +1,526 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/area"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/quality"
+	"repro/internal/stats"
+	"repro/internal/texture"
+	"repro/internal/workload"
+)
+
+// Workload sets used by the evaluation harness. The paper runs the full
+// Table II; the bench harness defaults to a quick set (five games at
+// 640x480 plus one high-resolution capture) to keep turnaround reasonable,
+// and a mini set under -short.
+
+// FullSet returns the complete Table II catalog.
+func FullSet() []workload.Workload { return workload.TableII() }
+
+// QuickSet returns the five games at 640x480 plus doom3 at 1280x1024.
+func QuickSet() []workload.Workload {
+	wls := workload.FiveGames()
+	wls = append(wls, workload.MustGet("doom3", 1280, 1024))
+	return wls
+}
+
+// MiniSet returns three small captures for -short test runs.
+func MiniSet() []workload.Workload {
+	return []workload.Workload{
+		workload.MustGet("doom3", 320, 240),
+		workload.MustGet("fear", 320, 240),
+		workload.MustGet("hl2", 320, 240),
+	}
+}
+
+// runCache memoizes simulation results across experiments (Figs 10-13
+// share one sweep; Figs 14-16 share the threshold sweep).
+var (
+	runCacheMu sync.Mutex
+	runCache   = map[string]*Result{}
+)
+
+func cacheKey(wl workload.Workload, opts Options) string {
+	return fmt.Sprintf("%s/%d/%.5f/%v/%v/%v/%v/%d/%d/%d/%d",
+		wl.Name(), opts.Design, opts.AngleThreshold, opts.DisableAniso,
+		opts.LinearLayout, opts.DisableConsolidation, opts.Compressed,
+		opts.MTUs, opts.FrameIndex, opts.Frames, opts.HMCCubes)
+}
+
+// RunCached is Run with cross-experiment memoization.
+func RunCached(wl workload.Workload, opts Options) (*Result, error) {
+	key := cacheKey(wl, opts)
+	runCacheMu.Lock()
+	if r, ok := runCache[key]; ok {
+		runCacheMu.Unlock()
+		return r, nil
+	}
+	runCacheMu.Unlock()
+	r, err := Run(wl, opts)
+	if err != nil {
+		return nil, err
+	}
+	runCacheMu.Lock()
+	runCache[key] = r
+	runCacheMu.Unlock()
+	return r, nil
+}
+
+// ClearRunCache empties the memoization cache (tests use it to bound
+// memory).
+func ClearRunCache() {
+	runCacheMu.Lock()
+	defer runCacheMu.Unlock()
+	runCache = map[string]*Result{}
+}
+
+// Experiment bundles a rendered table with headline summary numbers
+// (keyed aggregates the tests and EXPERIMENTS.md assert on).
+type Experiment struct {
+	Name    string
+	Table   *stats.Table
+	Summary map[string]float64
+}
+
+// Fig2MemoryBreakdown reproduces Fig. 2: the share of memory traffic by
+// access class under the baseline, per workload. The paper reports texture
+// fetches averaging ~60% of total traffic.
+func Fig2MemoryBreakdown(wls []workload.Workload) (*Experiment, error) {
+	tab := stats.NewTable("Fig 2: memory bandwidth usage breakdown (Baseline)",
+		"workload", "texture%", "frame%", "geometry%", "z-test%", "color%")
+	var texShare []float64
+	for _, wl := range wls {
+		res, err := RunCached(wl, Options{Design: config.Baseline})
+		if err != nil {
+			return nil, err
+		}
+		tr := &res.Frame.Traffic
+		tab.AddRowF(wl.Name(),
+			100*tr.Share(mem.ClassTexture),
+			100*tr.Share(mem.ClassFrame),
+			100*tr.Share(mem.ClassGeometry),
+			100*tr.Share(mem.ClassZ),
+			100*tr.Share(mem.ClassColor))
+		texShare = append(texShare, tr.Share(mem.ClassTexture))
+	}
+	return &Experiment{
+		Name:  "fig2",
+		Table: tab,
+		Summary: map[string]float64{
+			"avg_texture_share": stats.Mean(texShare),
+		},
+	}, nil
+}
+
+// Fig4AnisoOff reproduces Fig. 4: texture-filtering speedup and texture
+// memory traffic when anisotropic filtering is disabled on the baseline.
+func Fig4AnisoOff(wls []workload.Workload) (*Experiment, error) {
+	tab := stats.NewTable("Fig 4: anisotropic filtering disabled (Baseline)",
+		"workload", "filter speedup", "normalized traffic")
+	var sp, tr []float64
+	for _, wl := range wls {
+		on, err := RunCached(wl, Options{Design: config.Baseline})
+		if err != nil {
+			return nil, err
+		}
+		off, err := RunCached(wl, Options{Design: config.Baseline, DisableAniso: true})
+		if err != nil {
+			return nil, err
+		}
+		s := on.Frame.Activity.Path.FilterTime() / off.Frame.Activity.Path.FilterTime()
+		n := float64(off.TextureTraffic()) / float64(on.TextureTraffic())
+		tab.AddRowF(wl.Name(), s, n)
+		sp = append(sp, s)
+		tr = append(tr, n)
+	}
+	return &Experiment{
+		Name:  "fig4",
+		Table: tab,
+		Summary: map[string]float64{
+			"avg_filter_speedup":     stats.Mean(sp),
+			"max_filter_speedup":     stats.Max(sp),
+			"avg_traffic_normalized": stats.Mean(tr),
+			"min_traffic_normalized": stats.Min(tr),
+		},
+	}, nil
+}
+
+// Fig5BPIM reproduces Fig. 5: B-PIM's 3D-rendering and texture-filtering
+// speedups over the baseline.
+func Fig5BPIM(wls []workload.Workload) (*Experiment, error) {
+	tab := stats.NewTable("Fig 5: B-PIM speedup over Baseline",
+		"workload", "render speedup", "filter speedup")
+	var rsp, fsp []float64
+	for _, wl := range wls {
+		base, err := RunCached(wl, Options{Design: config.Baseline})
+		if err != nil {
+			return nil, err
+		}
+		bpim, err := RunCached(wl, Options{Design: config.BPIM})
+		if err != nil {
+			return nil, err
+		}
+		r := float64(base.Cycles()) / float64(bpim.Cycles())
+		f := base.Frame.Activity.Path.FilterTime() / bpim.Frame.Activity.Path.FilterTime()
+		tab.AddRowF(wl.Name(), r, f)
+		rsp = append(rsp, r)
+		fsp = append(fsp, f)
+	}
+	return &Experiment{
+		Name:  "fig5",
+		Table: tab,
+		Summary: map[string]float64{
+			"avg_render_speedup": stats.Mean(rsp),
+			"max_render_speedup": stats.Max(rsp),
+			"avg_filter_speedup": stats.Mean(fsp),
+			"max_filter_speedup": stats.Max(fsp),
+		},
+	}, nil
+}
+
+// Fig7TexelFetches reproduces the Fig. 7 fetch-count comparison at the
+// unit level: for a 4x anisotropic footprint, the conventional order
+// fetches 32 texels to the GPU while A-TFIM fetches 8 parent texels.
+func Fig7TexelFetches() *Experiment {
+	tab := stats.NewTable("Fig 7: texel fetches per texture request",
+		"anisotropy", "baseline fetches", "A-TFIM parent fetches", "reduction")
+	sum := map[string]float64{}
+	for _, n := range []int{2, 4, 8, 16} {
+		f := texture.Footprint{N: n, Lod: 1.5}
+		base := f.TexelFetches()
+		par := f.ParentFetches()
+		tab.AddRowF(fmt.Sprintf("%dx", n), float64(base), float64(par), float64(base)/float64(par))
+		if n == 4 {
+			sum["baseline_fetches_4x"] = float64(base)
+			sum["atfim_fetches_4x"] = float64(par)
+		}
+	}
+	return &Experiment{Name: "fig7", Table: tab, Summary: sum}
+}
+
+// designSweep runs every design on every workload (memoized) and returns
+// results indexed [workload][design].
+func designSweep(wls []workload.Workload) (map[string]map[config.Design]*Result, error) {
+	out := make(map[string]map[config.Design]*Result, len(wls))
+	for _, wl := range wls {
+		row := make(map[config.Design]*Result, 4)
+		for _, d := range config.AllDesigns() {
+			res, err := RunCached(wl, Options{Design: d})
+			if err != nil {
+				return nil, err
+			}
+			row[d] = res
+		}
+		out[wl.Name()] = row
+	}
+	return out, nil
+}
+
+// Fig10TextureSpeedup reproduces Fig. 10: normalized texture-filtering
+// speedup of the four designs (plus A-TFIM at 0.05pi for reference).
+func Fig10TextureSpeedup(wls []workload.Workload) (*Experiment, error) {
+	sweep, err := designSweep(wls)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Fig 10: texture filtering speedup (normalized to Baseline)",
+		"workload", "Baseline", "B-PIM", "S-TFIM", "A-TFIM-001pi")
+	agg := map[config.Design][]float64{}
+	for _, wl := range wls {
+		row := sweep[wl.Name()]
+		base := row[config.Baseline].Frame.Activity.Path.FilterTime()
+		vals := make([]float64, 0, 4)
+		for _, d := range config.AllDesigns() {
+			v := base / row[d].Frame.Activity.Path.FilterTime()
+			vals = append(vals, v)
+			agg[d] = append(agg[d], v)
+		}
+		tab.AddRowF(wl.Name(), vals...)
+	}
+	return &Experiment{
+		Name:  "fig10",
+		Table: tab,
+		Summary: map[string]float64{
+			"avg_speedup_bpim":  stats.Mean(agg[config.BPIM]),
+			"avg_speedup_stfim": stats.Mean(agg[config.STFIM]),
+			"avg_speedup_atfim": stats.Mean(agg[config.ATFIM]),
+			"max_speedup_atfim": stats.Max(agg[config.ATFIM]),
+		},
+	}, nil
+}
+
+// Fig11RenderSpeedup reproduces Fig. 11: normalized 3D-rendering speedup
+// of the four designs.
+func Fig11RenderSpeedup(wls []workload.Workload) (*Experiment, error) {
+	sweep, err := designSweep(wls)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Fig 11: 3D rendering speedup (normalized to Baseline)",
+		"workload", "Baseline", "B-PIM", "S-TFIM", "A-TFIM-001pi")
+	agg := map[config.Design][]float64{}
+	for _, wl := range wls {
+		row := sweep[wl.Name()]
+		base := float64(row[config.Baseline].Cycles())
+		vals := make([]float64, 0, 4)
+		for _, d := range config.AllDesigns() {
+			v := base / float64(row[d].Cycles())
+			vals = append(vals, v)
+			agg[d] = append(agg[d], v)
+		}
+		tab.AddRowF(wl.Name(), vals...)
+	}
+	return &Experiment{
+		Name:  "fig11",
+		Table: tab,
+		Summary: map[string]float64{
+			"avg_speedup_bpim":  stats.Mean(agg[config.BPIM]),
+			"avg_speedup_stfim": stats.Mean(agg[config.STFIM]),
+			"avg_speedup_atfim": stats.Mean(agg[config.ATFIM]),
+			"max_speedup_atfim": stats.Max(agg[config.ATFIM]),
+		},
+	}, nil
+}
+
+// Fig12MemoryTraffic reproduces Fig. 12: texture memory traffic normalized
+// to the baseline, including both A-TFIM thresholds the paper plots.
+func Fig12MemoryTraffic(wls []workload.Workload) (*Experiment, error) {
+	sweep, err := designSweep(wls)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Fig 12: texture memory traffic (normalized to Baseline)",
+		"workload", "Baseline", "B-PIM", "S-TFIM", "A-TFIM-001pi", "A-TFIM-005pi")
+	agg := map[string][]float64{}
+	for _, wl := range wls {
+		row := sweep[wl.Name()]
+		base := float64(row[config.Baseline].TextureTraffic())
+		a5, err := RunCached(wl, Options{Design: config.ATFIM, AngleThreshold: config.Angle005Pi})
+		if err != nil {
+			return nil, err
+		}
+		vals := []float64{
+			1,
+			float64(row[config.BPIM].TextureTraffic()) / base,
+			float64(row[config.STFIM].TextureTraffic()) / base,
+			float64(row[config.ATFIM].TextureTraffic()) / base,
+			float64(a5.TextureTraffic()) / base,
+		}
+		tab.AddRowF(wl.Name(), vals...)
+		agg["stfim"] = append(agg["stfim"], vals[2])
+		agg["atfim001"] = append(agg["atfim001"], vals[3])
+		agg["atfim005"] = append(agg["atfim005"], vals[4])
+	}
+	return &Experiment{
+		Name:  "fig12",
+		Table: tab,
+		Summary: map[string]float64{
+			"avg_traffic_stfim":    stats.Mean(agg["stfim"]),
+			"avg_traffic_atfim001": stats.Mean(agg["atfim001"]),
+			"avg_traffic_atfim005": stats.Mean(agg["atfim005"]),
+			"min_traffic_atfim005": stats.Min(agg["atfim005"]),
+		},
+	}, nil
+}
+
+// Fig13Energy reproduces Fig. 13: whole-GPU energy normalized to the
+// baseline.
+func Fig13Energy(wls []workload.Workload) (*Experiment, error) {
+	sweep, err := designSweep(wls)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Fig 13: energy consumption (normalized to Baseline)",
+		"workload", "Baseline", "B-PIM", "S-TFIM", "A-TFIM-001pi")
+	agg := map[config.Design][]float64{}
+	for _, wl := range wls {
+		row := sweep[wl.Name()]
+		base := row[config.Baseline].Energy.Total()
+		vals := make([]float64, 0, 4)
+		for _, d := range config.AllDesigns() {
+			v := row[d].Energy.Total() / base
+			vals = append(vals, v)
+			agg[d] = append(agg[d], v)
+		}
+		tab.AddRowF(wl.Name(), vals...)
+	}
+	return &Experiment{
+		Name:  "fig13",
+		Table: tab,
+		Summary: map[string]float64{
+			"avg_energy_bpim":  stats.Mean(agg[config.BPIM]),
+			"avg_energy_stfim": stats.Mean(agg[config.STFIM]),
+			"avg_energy_atfim": stats.Mean(agg[config.ATFIM]),
+		},
+	}, nil
+}
+
+// thresholdSweep runs A-TFIM at each camera-angle threshold.
+func thresholdSweep(wls []workload.Workload) (map[string]map[string]*Result, error) {
+	out := map[string]map[string]*Result{}
+	for _, wl := range wls {
+		row := map[string]*Result{}
+		for _, th := range config.AngleThresholds() {
+			res, err := RunCached(wl, Options{Design: config.ATFIM, AngleThreshold: th.Value})
+			if err != nil {
+				return nil, err
+			}
+			row[th.Label] = res
+		}
+		out[wl.Name()] = row
+	}
+	return out, nil
+}
+
+// Fig14ThresholdSpeedup reproduces Fig. 14: A-TFIM rendering speedup under
+// different camera-angle thresholds.
+func Fig14ThresholdSpeedup(wls []workload.Workload) (*Experiment, error) {
+	sweep, err := thresholdSweep(wls)
+	if err != nil {
+		return nil, err
+	}
+	labels := config.AngleThresholds()
+	cols := []string{"workload"}
+	for _, th := range labels {
+		cols = append(cols, th.Label)
+	}
+	tab := stats.NewTable("Fig 14: A-TFIM rendering speedup vs camera-angle threshold", cols...)
+	agg := map[string][]float64{}
+	for _, wl := range wls {
+		base, err := RunCached(wl, Options{Design: config.Baseline})
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, 0, len(labels))
+		for _, th := range labels {
+			v := float64(base.Cycles()) / float64(sweep[wl.Name()][th.Label].Cycles())
+			vals = append(vals, v)
+			agg[th.Label] = append(agg[th.Label], v)
+		}
+		tab.AddRowF(wl.Name(), vals...)
+	}
+	sum := map[string]float64{}
+	for _, th := range labels {
+		sum["avg_"+th.Label] = stats.Mean(agg[th.Label])
+	}
+	return &Experiment{Name: "fig14", Table: tab, Summary: sum}, nil
+}
+
+// Fig15ThresholdQuality reproduces Fig. 15: PSNR of A-TFIM frames against
+// the baseline render under different camera-angle thresholds.
+func Fig15ThresholdQuality(wls []workload.Workload) (*Experiment, error) {
+	sweep, err := thresholdSweep(wls)
+	if err != nil {
+		return nil, err
+	}
+	labels := config.AngleThresholds()
+	cols := []string{"workload"}
+	for _, th := range labels {
+		cols = append(cols, th.Label)
+	}
+	tab := stats.NewTable("Fig 15: A-TFIM image quality (PSNR) vs camera-angle threshold", cols...)
+	agg := map[string][]float64{}
+	for _, wl := range wls {
+		base, err := RunCached(wl, Options{Design: config.Baseline})
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, 0, len(labels))
+		for _, th := range labels {
+			p, err := quality.PSNR(base.Image, sweep[wl.Name()][th.Label].Image)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, p)
+			agg[th.Label] = append(agg[th.Label], p)
+		}
+		tab.AddRowF(wl.Name(), vals...)
+	}
+	sum := map[string]float64{}
+	for _, th := range labels {
+		sum["avg_"+th.Label] = stats.Mean(agg[th.Label])
+	}
+	return &Experiment{Name: "fig15", Table: tab, Summary: sum}, nil
+}
+
+// Fig16Tradeoff reproduces Fig. 16: the averaged performance-quality
+// tradeoff across thresholds.
+func Fig16Tradeoff(wls []workload.Workload) (*Experiment, error) {
+	f14, err := Fig14ThresholdSpeedup(wls)
+	if err != nil {
+		return nil, err
+	}
+	f15, err := Fig15ThresholdQuality(wls)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Fig 16: performance-quality tradeoff (averages)",
+		"threshold", "speedup", "PSNR")
+	sum := map[string]float64{}
+	for _, th := range config.AngleThresholds() {
+		sp := f14.Summary["avg_"+th.Label]
+		ps := f15.Summary["avg_"+th.Label]
+		tab.AddRowF(th.Label, sp, ps)
+		sum["speedup_"+th.Label] = sp
+		sum["psnr_"+th.Label] = ps
+	}
+	return &Experiment{Name: "fig16", Table: tab, Summary: sum}, nil
+}
+
+// Table1Config renders the paper's Table I.
+func Table1Config() *Experiment {
+	cfg := config.Default(config.ATFIM)
+	tab := stats.NewTable("Table I: simulator configuration", "parameter", "value")
+	for _, row := range cfg.TableI() {
+		tab.AddRow(row[0], row[1])
+	}
+	return &Experiment{Name: "table1", Table: tab, Summary: map[string]float64{
+		"clusters":      float64(cfg.GPU.Clusters),
+		"texture_units": float64(cfg.GPU.TextureUnits),
+		"hmc_vaults":    float64(cfg.HMCVaults),
+	}}
+}
+
+// Table2Workloads renders the paper's Table II.
+func Table2Workloads() *Experiment {
+	tab := stats.NewTable("Table II: gaming benchmarks",
+		"name", "resolution", "library", "3D engine", "triangles", "textures")
+	for _, wl := range workload.TableII() {
+		sc := wl.Scene()
+		tab.AddRow(wl.Game,
+			fmt.Sprintf("%dx%d", wl.Width, wl.Height),
+			wl.Library, wl.Engine,
+			fmt.Sprintf("%d", sc.NumTriangles()),
+			fmt.Sprintf("%d", len(sc.Textures)))
+	}
+	return &Experiment{Name: "table2", Table: tab, Summary: map[string]float64{
+		"workloads": float64(len(workload.TableII())),
+	}}
+}
+
+// OverheadAnalysis reproduces Section VII-E: the area overhead of A-TFIM.
+func OverheadAnalysis() *Experiment {
+	cfg := config.Default(config.ATFIM)
+	h := area.ComputeHMC(cfg)
+	g := area.ComputeGPU(cfg)
+	tab := stats.NewTable("Section VII-E: design overhead",
+		"component", "value")
+	tab.AddRow("Parent Texel Buffer", fmt.Sprintf("%.2f KB", h.ParentTexelBufferKB))
+	tab.AddRow("Child Texel Consolidation", fmt.Sprintf("%.2f KB", h.ConsolidationKB))
+	tab.AddRow("HMC logic units area", fmt.Sprintf("%.2f mm^2", h.LogicMM2))
+	tab.AddRow("HMC storage area", fmt.Sprintf("%.2f mm^2", h.StorageMM2))
+	tab.AddRow("HMC total overhead", fmt.Sprintf("%.2f mm^2 (%.2f%% of DRAM die)", h.TotalMM2, 100*h.FractionOfDie))
+	tab.AddRow("GPU angle-tag storage", fmt.Sprintf("%.2f KB", g.TotalKB))
+	tab.AddRow("GPU total overhead", fmt.Sprintf("%.2f mm^2 (%.2f%% of GPU die)", g.TotalMM2, 100*g.FractionOfDie))
+	return &Experiment{Name: "overhead", Table: tab, Summary: map[string]float64{
+		"ptb_kb":         h.ParentTexelBufferKB,
+		"hmc_fraction":   h.FractionOfDie,
+		"gpu_fraction":   g.FractionOfDie,
+		"gpu_storage_kb": g.TotalKB,
+		"angle_bits":     float64(g.AngleBitsPerLine),
+	}}
+}

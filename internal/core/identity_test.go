@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/quality"
+	"repro/internal/workload"
+)
+
+// TestFunctionalIdentityAcrossMemoryDesigns is the end-to-end counterpart
+// of the paper's "without sacrificing image quality" claims: B-PIM and
+// S-TFIM change WHERE filtering happens and over WHAT memory, but compute
+// the identical filtering math — their rendered frames must be bit
+// identical to the baseline's.
+func TestFunctionalIdentityAcrossMemoryDesigns(t *testing.T) {
+	wl := workload.MustGet("fear", 320, 240)
+	base, err := Run(wl, Options{Design: config.Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []config.Design{config.BPIM, config.STFIM} {
+		res, err := Run(wl, Options{Design: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.Image {
+			if base.Image[i] != res.Image[i] {
+				psnr, _ := quality.PSNR(base.Image, res.Image)
+				t.Fatalf("%s frame differs from baseline at pixel %d (PSNR %.1f); "+
+					"these designs must be functionally identical", d, i, psnr)
+			}
+		}
+	}
+}
+
+// TestATFIMQualityBounded checks A-TFIM's approximation stays in the
+// quality band the paper's Section VII-D operates in.
+func TestATFIMQualityBounded(t *testing.T) {
+	wl := workload.MustGet("fear", 320, 240)
+	base, err := Run(wl, Options{Design: config.Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Run(wl, Options{Design: config.ATFIM, AngleThreshold: config.Angle0005Pi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Run(wl, Options{Design: config.ATFIM, AngleThreshold: config.AngleNoRecalc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pStrict, _ := quality.PSNR(base.Image, strict.Image)
+	pLoose, _ := quality.PSNR(base.Image, loose.Image)
+	t.Logf("PSNR strict=%.1f loose=%.1f", pStrict, pLoose)
+	if pStrict < 35 {
+		t.Errorf("strict-threshold PSNR %.1f below the plausible band", pStrict)
+	}
+	if pLoose > pStrict+0.5 {
+		t.Errorf("loosening the threshold improved quality (%.1f -> %.1f)", pStrict, pLoose)
+	}
+	// A-TFIM at loose thresholds is approximate but must not destroy the
+	// image.
+	if pLoose < 25 {
+		t.Errorf("no-recalc PSNR %.1f implies a broken image", pLoose)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+func TestCompressedOptionCutsTraffic(t *testing.T) {
+	wl := workload.MustGet("wolf", 320, 240)
+	raw, err := Run(wl, Options{Design: config.Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Run(wl, Options{Design: config.Baseline, Compressed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.TextureTraffic() >= raw.TextureTraffic()/2 {
+		t.Fatalf("compression cut traffic %d -> %d, expected a large reduction",
+			raw.TextureTraffic(), comp.TextureTraffic())
+	}
+	// Lossy but recognizable.
+	if len(comp.Image) != len(raw.Image) {
+		t.Fatal("image sizes differ")
+	}
+}
+
+func TestCompressedRejectedForATFIM(t *testing.T) {
+	wl := workload.MustGet("wolf", 320, 240)
+	if _, err := Run(wl, Options{Design: config.ATFIM, Compressed: true}); err == nil {
+		t.Fatal("compressed A-TFIM accepted; the design assumes raw texel storage")
+	}
+}
+
+func TestMultiCubeOption(t *testing.T) {
+	wl := workload.MustGet("wolf", 320, 240)
+	one, err := Run(wl, Options{Design: config.ATFIM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run(wl, Options{Design: config.ATFIM, HMCCubes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two cubes must never be slower, and the functional image must be
+	// identical (routing changes timing only).
+	if two.Cycles() > one.Cycles() {
+		t.Errorf("two cubes slower: %d vs %d", two.Cycles(), one.Cycles())
+	}
+	for i := range one.Image {
+		if one.Image[i] != two.Image[i] {
+			t.Fatalf("pixel %d differs between cube counts", i)
+		}
+	}
+}
+
+func TestLinearLayoutOption(t *testing.T) {
+	wl := workload.MustGet("wolf", 320, 240)
+	morton, err := Run(wl, Options{Design: config.Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear, err := Run(wl, Options{Design: config.Baseline, LinearLayout: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Morton tiling exists to improve 2D locality; linear must not beat it
+	// on texture traffic.
+	if linear.TextureTraffic() < morton.TextureTraffic() {
+		t.Errorf("linear layout traffic %d below morton %d",
+			linear.TextureTraffic(), morton.TextureTraffic())
+	}
+}
+
+func TestMultiFrameAccumulates(t *testing.T) {
+	wl := workload.MustGet("wolf", 320, 240)
+	one, err := Run(wl, Options{Design: config.Baseline, Frames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := Run(wl, Options{Design: config.Baseline, Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Cycles() <= one.Cycles() {
+		t.Fatalf("3 frames (%d cycles) not longer than 1 (%d)", three.Cycles(), one.Cycles())
+	}
+	if three.Frame.Activity.FragmentCount <= one.Frame.Activity.FragmentCount {
+		t.Fatal("fragment counts did not accumulate")
+	}
+}
+
+func TestFrameIndexSelectsCamera(t *testing.T) {
+	wl := workload.MustGet("wolf", 320, 240)
+	a, err := Run(wl, Options{Design: config.Baseline, FrameIndex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(wl, Options{Design: config.Baseline, FrameIndex: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Image {
+		if a.Image[i] == b.Image[i] {
+			same++
+		}
+	}
+	if same == len(a.Image) {
+		t.Fatal("different frame indices rendered identical images")
+	}
+}

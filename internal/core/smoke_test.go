@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// TestSmokeAllDesigns renders one small frame under each design and checks
+// the gross invariants: non-zero cycles, texture traffic recorded, and a
+// non-empty image.
+func TestSmokeAllDesigns(t *testing.T) {
+	wl := workload.MustGet("doom3", 320, 240)
+	for _, d := range config.AllDesigns() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			start := time.Now()
+			res, err := Run(wl, Options{Design: d})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			t.Logf("%s: cycles=%d texLat=%.1f texTraffic=%d total=%d energy=%.4fJ elapsed=%v",
+				d, res.Cycles(), res.TexFilterLatency(), res.TextureTraffic(),
+				res.TotalTraffic(), res.Energy.Total(), time.Since(start))
+			if res.Cycles() <= 0 {
+				t.Errorf("no cycles accounted")
+			}
+			if res.TextureTraffic() == 0 {
+				t.Errorf("no texture traffic recorded")
+			}
+			if len(res.Image) != wl.Pixels() {
+				t.Errorf("image size %d != %d", len(res.Image), wl.Pixels())
+			}
+			nonBG := 0
+			for _, p := range res.Image {
+				if p != res.Image[0] {
+					nonBG++
+				}
+			}
+			if nonBG < wl.Pixels()/10 {
+				t.Errorf("frame looks empty: only %d non-background pixels", nonBG)
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestIdleReadLatency(t *testing.T) {
+	g := New(DefaultConfig())
+	done := g.Access(0, mem.Request{Addr: 0x1000, Size: 64, Class: mem.ClassTexture, Kind: mem.Read})
+	if done <= 0 || done > 60 {
+		t.Errorf("idle read latency %d cycles out of expected range (0, 60]", done)
+	}
+	t.Logf("idle read latency: %d cycles", done)
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	g := New(DefaultConfig())
+	first := g.Access(0, mem.Request{Addr: 0, Size: 64, Kind: mem.Read})
+	// Same row (next line in same bank): channel interleave means same-bank
+	// lines are Channels*Banks lines apart.
+	cfg := DefaultConfig()
+	stride := uint64(cfg.Channels * cfg.BanksPerChannel * cfg.LineBytes)
+	second := g.Access(first, mem.Request{Addr: stride, Size: 64, Kind: mem.Read})
+	hitLat := second - first
+	if g.Stats().RowHits == 0 {
+		t.Fatalf("expected a row hit on same-row access, stats=%+v", g.Stats())
+	}
+	if hitLat >= first {
+		t.Errorf("row hit latency %d should be below row miss latency %d", hitLat, first)
+	}
+}
+
+// TestStreamBandwidth drives sequential lines at maximum rate and checks
+// the sustained bandwidth approaches the configured peak.
+func TestStreamBandwidth(t *testing.T) {
+	g := New(DefaultConfig())
+	const n = 100000
+	var now, last int64
+	for i := 0; i < n; i++ {
+		done := g.Access(now, mem.Request{Addr: uint64(i) * 64, Size: 64, Kind: mem.Read})
+		if done > last {
+			last = done
+		}
+	}
+	bw := float64(n*64) / float64(last)
+	peak := g.PeakBandwidth()
+	t.Logf("sustained %.1f B/cy vs peak %.1f B/cy over %d cycles", bw, peak, last)
+	if bw < 0.7*peak {
+		t.Errorf("sustained bandwidth %.1f below 70%% of peak %.1f", bw, peak)
+	}
+	if bw > peak*1.05 {
+		t.Errorf("sustained bandwidth %.1f exceeds peak %.1f", bw, peak)
+	}
+}
+
+// TestRandomAccessLatency issues scattered single reads at a modest rate
+// and checks latency stays bounded (no runaway queueing).
+func TestRandomAccessLatency(t *testing.T) {
+	g := New(DefaultConfig())
+	var sum int64
+	const n = 20000
+	seed := uint64(12345)
+	for i := 0; i < n; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		addr := (seed >> 16) % (1 << 30) &^ 63
+		now := int64(i * 4) // one read every 4 cycles
+		done := g.Access(now, mem.Request{Addr: addr, Size: 64, Kind: mem.Read})
+		sum += done - now
+	}
+	meanLat := float64(sum) / n
+	t.Logf("random read mean latency at 16 B/cy load: %.1f cycles (rowHitRate=%.2f)",
+		meanLat, g.Stats().RowHitRate())
+	if meanLat > 200 {
+		t.Errorf("random-access latency %.1f looks unbounded", meanLat)
+	}
+}
+
+// TestMixedReadWriteInterference interleaves read and write streams to
+// distinct regions (texture reads vs Z writes) and verifies reads are not
+// starved into runaway latency.
+func TestMixedReadWriteInterference(t *testing.T) {
+	g := New(DefaultConfig())
+	var sum int64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		now := int64(i * 6)
+		rdone := g.Access(now, mem.Request{Addr: uint64(i) * 64, Size: 64, Kind: mem.Read})
+		g.Access(now, mem.Request{Addr: mem.RegionDepth + uint64(i)*64, Size: 64, Kind: mem.Write})
+		sum += rdone - now
+	}
+	meanLat := float64(sum) / n
+	t.Logf("read latency under write interference: %.1f cycles", meanLat)
+	if meanLat > 300 {
+		t.Errorf("read latency %.1f under writes looks unbounded", meanLat)
+	}
+}

@@ -1,0 +1,80 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// TestCompletionNeverPrecedesArrival fuzzes the timing model with random
+// interleaved reads/writes at random (non-decreasing and jittered) times.
+func TestCompletionNeverPrecedesArrival(t *testing.T) {
+	g := New(DefaultConfig())
+	rng := xrand.New(0xD2A4)
+	var now int64
+	for i := 0; i < 100000; i++ {
+		// Mostly advancing time with occasional stale timestamps (the
+		// pipeline emits those).
+		now += int64(rng.Intn(8))
+		at := now - int64(rng.Intn(2000))
+		if at < 0 {
+			at = 0
+		}
+		kind := mem.Read
+		if rng.Float32() < 0.3 {
+			kind = mem.Write
+		}
+		req := mem.Request{Addr: uint64(rng.Intn(1<<28)) &^ 63, Size: 64, Kind: kind}
+		done := g.Access(at, req)
+		if done < at {
+			t.Fatalf("access %d completed at %d before arrival %d", i, done, at)
+		}
+		if done-at > 1_000_000 {
+			t.Fatalf("access %d latency %d cycles looks unbounded", i, done-at)
+		}
+	}
+	s := g.Stats()
+	if s.Reads+s.Writes != 100000 {
+		t.Fatalf("stats lost accesses: %d", s.Reads+s.Writes)
+	}
+	if s.RowHits+s.RowMisses != 100000 {
+		t.Fatal("row stats inconsistent")
+	}
+}
+
+// TestBytesAccounting checks the byte counters match issued traffic.
+func TestBytesAccounting(t *testing.T) {
+	g := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		g.Access(int64(i), mem.Request{Addr: uint64(i) * 64, Size: 64, Kind: mem.Read})
+	}
+	for i := 0; i < 50; i++ {
+		g.Access(int64(i), mem.Request{Addr: uint64(i) * 64, Size: 64, Kind: mem.Write})
+	}
+	s := g.Stats()
+	if s.BytesRead != 100*64 || s.BytesWrit != 50*64 {
+		t.Fatalf("byte counters %d/%d", s.BytesRead, s.BytesWrit)
+	}
+}
+
+// TestResetRestoresInitialState verifies determinism across Reset.
+func TestResetRestoresInitialState(t *testing.T) {
+	g := New(DefaultConfig())
+	run := func() []int64 {
+		var out []int64
+		for i := 0; i < 1000; i++ {
+			out = append(out, g.Access(int64(i), mem.Request{
+				Addr: uint64(i*137) &^ 63, Size: 64, Kind: mem.Read}))
+		}
+		return out
+	}
+	a := run()
+	g.Reset()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("access %d differs after reset: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

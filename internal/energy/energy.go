@@ -1,0 +1,141 @@
+// Package energy estimates whole-GPU energy per frame in the spirit of the
+// paper's McPAT-based methodology (Section VI): per-event dynamic energies
+// for shader ALUs, caches, texture/filtering units and the PIM logic, link
+// energy at 5 pJ/bit and DRAM access energy at 4 pJ/bit (the paper's
+// constants), a GDDR5 interface premium, and a 10% leakage uplift plus
+// clock-scaled background power so that faster frames also save static
+// energy.
+package energy
+
+import (
+	"repro/internal/gpu"
+)
+
+// Model holds the per-event energy constants. Values are picojoules unless
+// noted. Defaults are calibrated for a 28 nm-class GPU; the figures only
+// use ratios between designs.
+type Model struct {
+	// ShaderInstrPJ is the energy of one shader ISA instruction on a
+	// simd4 ALU.
+	ShaderInstrPJ float64
+	// TexelFetchPJ is a GPU texture-unit texel fetch (address + read).
+	TexelFetchPJ float64
+	// FilterOpPJ is one filtering ALU operation (GPU or logic layer).
+	FilterOpPJ float64
+	// L1AccessPJ / L2AccessPJ are texture cache access energies.
+	L1AccessPJ, L2AccessPJ float64
+	// ROPAccessPJ is a Z/color cache access.
+	ROPAccessPJ float64
+	// LinkPJPerBit is the serial link energy (5 pJ/bit per the paper).
+	LinkPJPerBit float64
+	// DRAMPJPerBit is the DRAM access energy for data crossing the device
+	// boundary (4 pJ/bit per the paper).
+	DRAMPJPerBit float64
+	// InternalPJPerBit is the energy of vault-internal accesses: array +
+	// TSV only, with no SerDes or board I/O — the reason near-data
+	// processing saves energy per bit moved.
+	InternalPJPerBit float64
+	// GDDR5InterfacePJPerBit is the extra per-bit cost of the long GDDR5
+	// board traces vs. TSVs (why HMC is more efficient, Section VII-C).
+	GDDR5InterfacePJPerBit float64
+	// PIMLogicPJ is one logic-layer ALU op (MTU / Texel Generator /
+	// Combination Unit); slightly cheaper than the GPU's due to locality.
+	PIMLogicPJ float64
+	// BackgroundWatts is the chip's static + clocking power; multiplied by
+	// frame time so performance improvements save energy.
+	BackgroundWatts float64
+	// LeakageFraction is added on top of dynamic energy (10% per the
+	// paper's methodology).
+	LeakageFraction float64
+	// ClockGHz converts cycles to seconds.
+	ClockGHz float64
+}
+
+// DefaultModel returns the calibrated constants.
+func DefaultModel() Model {
+	return Model{
+		ShaderInstrPJ:          12,
+		TexelFetchPJ:           6,
+		FilterOpPJ:             8,
+		L1AccessPJ:             4,
+		L2AccessPJ:             10,
+		ROPAccessPJ:            6,
+		LinkPJPerBit:           5,
+		DRAMPJPerBit:           4,
+		InternalPJPerBit:       1.2,
+		GDDR5InterfacePJPerBit: 8,
+		PIMLogicPJ:             6,
+		BackgroundWatts:        18,
+		LeakageFraction:        0.10,
+		ClockGHz:               1.0,
+	}
+}
+
+// Breakdown is the per-component energy of one frame, in joules.
+type Breakdown struct {
+	Shader     float64
+	TextureGPU float64
+	Caches     float64
+	ROP        float64
+	Links      float64
+	DRAM       float64
+	PIMLogic   float64
+	Background float64
+	Leakage    float64
+}
+
+// Total returns the frame's total energy in joules.
+func (b Breakdown) Total() float64 {
+	return b.Shader + b.TextureGPU + b.Caches + b.ROP + b.Links + b.DRAM +
+		b.PIMLogic + b.Background + b.Leakage
+}
+
+// Estimate computes the energy breakdown of a frame. usesHMC selects link
+// energy vs. the GDDR5 interface premium for external bytes.
+func (m Model) Estimate(res *gpu.FrameResult, usesHMC bool) Breakdown {
+	a := res.Activity
+	p := a.Path
+	var b Breakdown
+
+	b.Shader = float64(a.ShaderInstrs) * m.ShaderInstrPJ
+	b.TextureGPU = float64(p.GPUTexelFetches)*m.TexelFetchPJ +
+		float64(p.GPUFilterOps)*m.FilterOpPJ
+	b.Caches = float64(p.L1Accesses)*m.L1AccessPJ + float64(p.L2Accesses)*m.L2AccessPJ
+	b.ROP = float64(a.ZAccesses+a.ColorAccesses) * m.ROPAccessPJ
+	b.PIMLogic = float64(p.PIMFilterOps)*m.PIMLogicPJ + float64(p.PIMTexelFetches)*m.PIMLogicPJ*0.5
+
+	extBits := float64(a.ExternalBytes) * 8
+	intBits := float64(a.InternalBytes) * 8
+	if usesHMC {
+		b.Links = extBits * m.LinkPJPerBit
+		b.DRAM = extBits*m.DRAMPJPerBit + intBits*m.InternalPJPerBit
+	} else {
+		b.Links = extBits * m.GDDR5InterfacePJPerBit
+		b.DRAM = extBits * m.DRAMPJPerBit
+	}
+
+	seconds := float64(res.Cycles) / (m.ClockGHz * 1e9)
+	b.Background = m.BackgroundWatts * seconds
+
+	dynamic := b.Shader + b.TextureGPU + b.Caches + b.ROP + b.Links + b.DRAM + b.PIMLogic
+	b.Leakage = dynamic * m.LeakageFraction
+	// Convert picojoules to joules for the dynamic terms.
+	b.Shader *= 1e-12
+	b.TextureGPU *= 1e-12
+	b.Caches *= 1e-12
+	b.ROP *= 1e-12
+	b.Links *= 1e-12
+	b.DRAM *= 1e-12
+	b.PIMLogic *= 1e-12
+	b.Leakage *= 1e-12
+	return b
+}
+
+// AveragePower returns the frame's mean power draw in watts.
+func (m Model) AveragePower(res *gpu.FrameResult, usesHMC bool) float64 {
+	seconds := float64(res.Cycles) / (m.ClockGHz * 1e9)
+	if seconds == 0 {
+		return 0
+	}
+	return m.Estimate(res, usesHMC).Total() / seconds
+}

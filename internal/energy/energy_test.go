@@ -1,0 +1,107 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+func sampleFrame() *gpu.FrameResult {
+	res := &gpu.FrameResult{Cycles: 100000}
+	res.Activity = gpu.Activity{
+		ShaderInstrs:  1_000_000,
+		ZAccesses:     100_000,
+		ColorAccesses: 100_000,
+		ExternalBytes: 10 << 20,
+		InternalBytes: 5 << 20,
+		Cycles:        100000,
+	}
+	res.Activity.Path = gpu.PathActivity{
+		GPUTexelFetches: 2_000_000,
+		GPUFilterOps:    2_000_000,
+		L1Accesses:      2_000_000,
+		L2Accesses:      100_000,
+	}
+	return res
+}
+
+func TestEstimatePositiveComponents(t *testing.T) {
+	m := DefaultModel()
+	b := m.Estimate(sampleFrame(), false)
+	if b.Total() <= 0 {
+		t.Fatal("total energy not positive")
+	}
+	for name, v := range map[string]float64{
+		"shader": b.Shader, "textureGPU": b.TextureGPU, "caches": b.Caches,
+		"rop": b.ROP, "dram": b.DRAM, "background": b.Background, "leakage": b.Leakage,
+	} {
+		if v < 0 {
+			t.Errorf("%s energy negative: %g", name, v)
+		}
+		if v > b.Total() {
+			t.Errorf("%s energy exceeds total", name)
+		}
+	}
+}
+
+func TestGDDR5InterfaceCostsMoreThanLinks(t *testing.T) {
+	m := DefaultModel()
+	f := sampleFrame()
+	gddr := m.Estimate(f, false)
+	hmc := m.Estimate(f, true)
+	// Same external bytes: GDDR5's long board traces must cost more per
+	// bit than HMC links (the paper's Section VII-C finding that HMC is
+	// more energy efficient).
+	if gddr.Links <= hmc.Links {
+		t.Fatalf("GDDR5 interface %.3e <= HMC links %.3e", gddr.Links, hmc.Links)
+	}
+}
+
+func TestLeakageIsTenPercentOfDynamic(t *testing.T) {
+	m := DefaultModel()
+	b := m.Estimate(sampleFrame(), false)
+	dynamic := b.Shader + b.TextureGPU + b.Caches + b.ROP + b.Links + b.DRAM + b.PIMLogic
+	ratio := b.Leakage / dynamic
+	if ratio < 0.099 || ratio > 0.101 {
+		t.Fatalf("leakage fraction %.4f want 0.10", ratio)
+	}
+}
+
+func TestFasterFrameSavesBackgroundEnergy(t *testing.T) {
+	m := DefaultModel()
+	slow := sampleFrame()
+	fast := sampleFrame()
+	fast.Cycles = slow.Cycles / 2
+	bs := m.Estimate(slow, true)
+	bf := m.Estimate(fast, true)
+	if bf.Background >= bs.Background {
+		t.Fatal("halving frame time did not halve background energy")
+	}
+	if bf.Total() >= bs.Total() {
+		t.Fatal("faster frame not cheaper overall at equal activity")
+	}
+}
+
+func TestAveragePower(t *testing.T) {
+	m := DefaultModel()
+	f := sampleFrame()
+	p := m.AveragePower(f, true)
+	if p <= 0 || p > 1000 {
+		t.Fatalf("average power %g W implausible", p)
+	}
+	zero := &gpu.FrameResult{}
+	if m.AveragePower(zero, true) != 0 {
+		t.Fatal("zero-cycle frame should report zero power")
+	}
+}
+
+func TestPIMLogicCharged(t *testing.T) {
+	m := DefaultModel()
+	f := sampleFrame()
+	f.Activity.Path.PIMFilterOps = 1_000_000
+	f.Activity.Path.PIMTexelFetches = 1_000_000
+	b := m.Estimate(f, true)
+	if b.PIMLogic <= 0 {
+		t.Fatal("PIM logic activity not charged")
+	}
+}

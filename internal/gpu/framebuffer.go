@@ -1,0 +1,48 @@
+package gpu
+
+import (
+	"repro/internal/mem"
+	"repro/internal/texture"
+)
+
+// Framebuffer holds the render target: an RGBA8 color buffer and a float32
+// depth buffer, with the address mapping used by the ROP caches.
+type Framebuffer struct {
+	W, H  int
+	Color []uint32
+	Depth []float32
+}
+
+// NewFramebuffer allocates a WxH target cleared to black / far depth.
+func NewFramebuffer(w, h int) *Framebuffer {
+	fb := &Framebuffer{W: w, H: h,
+		Color: make([]uint32, w*h),
+		Depth: make([]float32, w*h),
+	}
+	fb.Clear(texture.Color{A: 1})
+	return fb
+}
+
+// Clear resets color and depth.
+func (fb *Framebuffer) Clear(c texture.Color) {
+	packed := texture.Pack(c)
+	for i := range fb.Color {
+		fb.Color[i] = packed
+		fb.Depth[i] = 1
+	}
+}
+
+// DepthAddr returns the memory address of pixel (x, y)'s depth value.
+func (fb *Framebuffer) DepthAddr(x, y int) uint64 {
+	return mem.RegionDepth + uint64(y*fb.W+x)*4
+}
+
+// ColorAddr returns the memory address of pixel (x, y)'s color value.
+func (fb *Framebuffer) ColorAddr(x, y int) uint64 {
+	return mem.RegionColor + uint64(y*fb.W+x)*4
+}
+
+// Pixel returns the color at (x, y).
+func (fb *Framebuffer) Pixel(x, y int) texture.Color {
+	return texture.Unpack(fb.Color[y*fb.W+x])
+}

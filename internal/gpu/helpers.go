@@ -1,0 +1,20 @@
+package gpu
+
+import (
+	"repro/internal/raster"
+	"repro/internal/texture"
+)
+
+// textureGradients extracts the fragment's analytic UV derivatives.
+func textureGradients(f *raster.Fragment) texture.Gradients {
+	return texture.Gradients{
+		DUDX: f.DUDX, DVDX: f.DVDX,
+		DUDY: f.DUDY, DVDY: f.DVDY,
+	}
+}
+
+// computeFootprint wraps texture.ComputeFootprint (kept as a seam for the
+// ablation benches that vary footprint policy).
+func computeFootprint(t *texture.Texture, g texture.Gradients, maxAniso int) texture.Footprint {
+	return texture.ComputeFootprint(t, g, maxAniso)
+}

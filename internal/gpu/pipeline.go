@@ -1,0 +1,539 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/raster"
+	"repro/internal/scene"
+	"repro/internal/shader"
+	"repro/internal/texture"
+	"repro/internal/vmath"
+)
+
+// vertexBytes is the fetched size of one vertex (pos 12 + uv 8 + color 16 +
+// normal 12) and indexBytes the size of one triangle's indices.
+const (
+	vertexBytes = 48
+	indexBytes  = 12
+	// triSetupCycles is the rasterizer's per-triangle setup cost.
+	triSetupCycles = 8
+	// maxInflightPerCluster bounds latency hiding per shader cluster:
+	// 16 shaders x 4 elements x 4-deep warp queues.
+	maxInflightPerCluster = 256
+)
+
+// Pipeline renders scenes under one design configuration.
+type Pipeline struct {
+	Cfg     config.Config
+	Backend mem.Backend
+	Path    TexturePath
+
+	fb      *Framebuffer
+	rast    *raster.Rasterizer
+	vs      *shader.Program
+	fs      *shader.Program
+	machine shader.Machine
+
+	zCache     *cache.Cache
+	colorCache *cache.Cache
+
+	// Per-cluster state.
+	cursor   []float64 // compute-cycle cursor per cluster
+	horizon  []int64   // completion horizon per cluster
+	inflight [][]int64 // ring of outstanding completions per cluster
+	inflHead []int
+
+	traffic  mem.Traffic
+	activity Activity
+
+	// Per-frame camera terms for the per-pixel view-ray computation.
+	tanHalfFovY float32
+	tanHalfFovX float32
+
+	// Current fragment context for the TEX callback.
+	curFrag    *raster.Fragment
+	curTex     int
+	curDone    int64
+	curNow     int64
+	curCluster int
+
+	scene *scene.Scene
+}
+
+// NewPipeline builds a pipeline for a WxH target. Backend and Path are
+// created by the caller (internal/core wires the design together).
+func NewPipeline(cfg config.Config, w, h int, backend mem.Backend, path TexturePath) *Pipeline {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Pipeline{
+		Cfg:     cfg,
+		Backend: backend,
+		Path:    path,
+		fb:      NewFramebuffer(w, h),
+		rast:    raster.New(w, h),
+		vs:      shader.NewVertexProgram(),
+	}
+	p.rast.Depth = p.fb.Depth
+	p.zCache = cache.New(cache.Config{
+		Name: "zcache", SizeBytes: cfg.GPU.ZCacheKB * 1024, Ways: 8,
+		LineBytes: mem.LineSize, WriteBack: true,
+	})
+	p.colorCache = cache.New(cache.Config{
+		Name: "colorcache", SizeBytes: cfg.GPU.ColorCacheKB * 1024, Ways: 8,
+		LineBytes: mem.LineSize, WriteBack: true,
+	})
+	n := cfg.GPU.Clusters
+	p.cursor = make([]float64, n)
+	p.horizon = make([]int64, n)
+	p.inflight = make([][]int64, n)
+	for i := range p.inflight {
+		p.inflight[i] = make([]int64, maxInflightPerCluster)
+	}
+	p.inflHead = make([]int, n)
+	return p
+}
+
+// Framebuffer exposes the render target (for image dumps).
+func (p *Pipeline) Framebuffer() *Framebuffer { return p.fb }
+
+// RenderFrame renders frame index `frame` of the scene and returns its
+// measurements. Texture addresses must already be assigned
+// (Scene.AssignTextureAddresses).
+func (p *Pipeline) RenderFrame(s *scene.Scene, frame int) (*FrameResult, error) {
+	if frame < 0 || frame >= len(s.Cameras) {
+		return nil, fmt.Errorf("gpu: frame %d out of range (%d cameras)", frame, len(s.Cameras))
+	}
+	p.scene = s
+	p.fb.Clear(texture.Color{R: 0.05, G: 0.05, B: 0.08, A: 1})
+	p.rast.ResetHiZ()
+	p.rast.ResetStats()
+	p.Backend.Reset()
+	p.Path.Reset()
+	p.zCache.Reset()
+	p.colorCache.Reset()
+	p.traffic = mem.Traffic{}
+	p.activity = Activity{}
+	for i := range p.cursor {
+		p.cursor[i] = 0
+		p.horizon[i] = 0
+		p.inflHead[i] = 0
+		for j := range p.inflight[i] {
+			p.inflight[i][j] = 0
+		}
+	}
+	p.machine = shader.Machine{}
+	p.machine.TexSample = p.texSample
+
+	cam := s.Cameras[frame]
+	aspect := float32(p.fb.W) / float32(p.fb.H)
+	p.tanHalfFovY = float32(math.Tan(float64(cam.FovY) / 2))
+	p.tanHalfFovX = p.tanHalfFovY * aspect
+	mvp := cam.ViewProj(aspect)
+	view := vmath.LookAt(cam.Eye, cam.Center, cam.Up)
+	shader.SetMVP(p.vs, [4]shader.Vec{
+		vecOf(mvp.Row(0)), vecOf(mvp.Row(1)), vecOf(mvp.Row(2)), vecOf(mvp.Row(3)),
+	})
+	// Light direction in eye space for the fragment program.
+	ld := view.MulVec(vmath.Vec4{X: s.LightDir.X, Y: s.LightDir.Y, Z: s.LightDir.Z, W: 0})
+	p.fs = shader.NewFragmentProgram(shader.Vec{ld.X, ld.Y, ld.Z, 0}, s.Ambient)
+
+	// --- Geometry stage ---
+	geomDone := p.runGeometry(s, view)
+
+	// --- Rasterization + fragment stage ---
+	fragStart := geomDone
+	p.runFragments(s, view, fragStart)
+
+	// --- End of frame: drain caches, resolve ---
+	endCompute := fragStart
+	for c := range p.cursor {
+		t := fragStart + int64(math.Ceil(p.cursor[c]))
+		if t > endCompute {
+			endCompute = t
+		}
+		if p.horizon[c] > endCompute {
+			endCompute = p.horizon[c]
+		}
+	}
+	pathDone := p.Path.EndFrame(endCompute)
+	if pathDone > endCompute {
+		endCompute = pathDone
+	}
+	flushDone := p.flushROPCaches(endCompute)
+	resolveDone := p.resolveFrame(flushDone)
+	total := resolveDone
+	if b := p.Backend.BusyUntil(); b > total {
+		total = b
+	}
+
+	res := &FrameResult{
+		Width:          p.fb.W,
+		Height:         p.fb.H,
+		Cycles:         total,
+		GeometryCycles: geomDone,
+		FragmentCycles: endCompute - fragStart,
+		Traffic:        p.traffic,
+		Raster:         p.rast.Stats(),
+		Caches:         map[string]cache.Stats{"zcache": p.zCache.Stats(), "colorcache": p.colorCache.Stats()},
+	}
+	for k, v := range p.Path.CacheStats() {
+		res.Caches[k] = v
+	}
+	p.activity.Path = p.Path.Activity()
+	p.activity.ShaderInstrs = p.machine.InstrCount
+	p.activity.Cycles = total
+	res.Activity = p.activity
+	res.Image = make([]uint32, len(p.fb.Color))
+	copy(res.Image, p.fb.Color)
+	return res, nil
+}
+
+func vecOf(v vmath.Vec4) shader.Vec { return shader.Vec{v.X, v.Y, v.Z, v.W} }
+
+// runGeometry fetches and shades every vertex, returning the stage's
+// completion cycle (compute and fetch overlap; the max dominates).
+func (p *Pipeline) runGeometry(s *scene.Scene, view vmath.Mat4) int64 {
+	nVerts := len(s.Mesh.Vertices)
+	nTris := len(s.Mesh.Triangles)
+	p.activity.VertexCount = uint64(nVerts)
+
+	// Vertex + index fetch: streamed from the vertex region.
+	var fetchDone int64
+	bytesTotal := uint64(nVerts*vertexBytes + nTris*indexBytes)
+	addr := mem.RegionVertex
+	var now int64
+	for off := uint64(0); off < bytesTotal; off += mem.LineSize {
+		req := mem.Request{Addr: addr + off, Size: mem.LineSize, Class: mem.ClassGeometry, Kind: mem.Read}
+		done := p.Backend.Access(now, req)
+		p.traffic.Record(mem.ClassGeometry, mem.Read, mem.LineSize+mem.RequestOverheadBytes)
+		if done > fetchDone {
+			fetchDone = done
+		}
+		// Pace issue at one line per cycle to avoid unbounded queueing.
+		now++
+	}
+
+	// Vertex shading: run the ISA program per vertex (functional result is
+	// stored by the caller in transformVertices); the cycle cost is the
+	// program cost divided across all shaders.
+	vsCost := float64(p.vs.CycleCost())
+	shaders := float64(p.Cfg.GPU.Clusters * p.Cfg.GPU.ShadersPerCluster)
+	computeDone := int64(math.Ceil(float64(nVerts) * vsCost / shaders))
+
+	if fetchDone > computeDone {
+		return fetchDone
+	}
+	return computeDone
+}
+
+// transformVertices runs the vertex program over the mesh, producing
+// clip-space raster vertices. Normals are taken to eye space for the
+// camera-angle computation.
+func (p *Pipeline) transformVertices(s *scene.Scene, view vmath.Mat4) []raster.Vertex {
+	out := make([]raster.Vertex, len(s.Mesh.Vertices))
+	for i, v := range s.Mesh.Vertices {
+		p.machine.SetInput(0, shader.Vec{v.Pos.X, v.Pos.Y, v.Pos.Z, 1})
+		p.machine.SetInput(1, shader.Vec{v.UV.X, v.UV.Y, 0, 0})
+		p.machine.SetInput(2, shader.Vec{v.Color.X, v.Color.Y, v.Color.Z, v.Color.W})
+		p.machine.SetInput(3, shader.Vec{v.Normal.X, v.Normal.Y, v.Normal.Z, 0})
+		if err := p.machine.Run(p.vs); err != nil {
+			panic(err)
+		}
+		pos := p.machine.Output(0)
+		uv := p.machine.Output(1)
+		col := p.machine.Output(2)
+		// Eye-space normal (w=0 direction transform).
+		en := view.MulVec(vmath.Vec4{X: v.Normal.X, Y: v.Normal.Y, Z: v.Normal.Z, W: 0})
+		out[i] = raster.Vertex{
+			Pos:    vmath.Vec4{X: pos[0], Y: pos[1], Z: pos[2], W: pos[3]},
+			UV:     vmath.Vec2{X: uv[0], Y: uv[1]},
+			Color:  vmath.Vec4{X: col[0], Y: col[1], Z: col[2], W: col[3]},
+			Normal: vmath.Vec3{X: en.X, Y: en.Y, Z: en.Z},
+		}
+	}
+	return out
+}
+
+// runFragments rasterizes every triangle tile by tile and shades the
+// fragments on the clusters. fragStart is the cycle when the stage begins.
+func (p *Pipeline) runFragments(s *scene.Scene, view vmath.Mat4, fragStart int64) {
+	verts := p.transformVertices(s, view)
+
+	// Triangle setup cost, spread over clusters.
+	setup := float64(len(s.Mesh.Triangles)*triSetupCycles) / float64(p.Cfg.GPU.Clusters)
+	for c := range p.cursor {
+		p.cursor[c] = setup / float64(len(p.cursor))
+	}
+
+	nextCluster := 0
+	for _, tri := range s.Mesh.Triangles {
+		tv := [3]raster.Vertex{verts[tri.V[0]], verts[tri.V[1]], verts[tri.V[2]]}
+		for _, st := range p.rast.Setup(tv, tri.TexID) {
+			stCopy := st
+			for _, tile := range stCopy.Tiles() {
+				cluster := nextCluster
+				nextCluster = (nextCluster + 1) % p.Cfg.GPU.Clusters
+				p.rast.ScanTile(&stCopy, tile, func(f *raster.Fragment) {
+					p.shadeFragment(f, cluster, fragStart)
+				})
+			}
+		}
+	}
+}
+
+// shadeFragment runs the fragment program (issuing the texture request) and
+// the ROP for one fragment on the given cluster.
+func (p *Pipeline) shadeFragment(f *raster.Fragment, cluster int, fragStart int64) {
+	p.activity.FragmentCount++
+	cfg := &p.Cfg.GPU
+
+	// Per-fragment shader issue cost: the cluster's shaders process
+	// ShadersPerCluster fragments in parallel.
+	fsCost := float64(p.fs.CycleCost()) / float64(cfg.ShadersPerCluster)
+	p.cursor[cluster] += fsCost
+	now := fragStart + int64(p.cursor[cluster])
+
+	// Bounded in-flight window: if full, the cluster stalls until the
+	// oldest outstanding request completes.
+	ring := p.inflight[cluster]
+	head := p.inflHead[cluster]
+	if oldest := ring[head]; oldest > now {
+		stall := oldest - now
+		p.cursor[cluster] += float64(stall)
+		now = oldest
+	}
+
+	// Per-pixel camera angle: the angle between the view ray through this
+	// pixel and the surface normal (the quantity A-TFIM tags texels with;
+	// Section V-C). It varies across a flat surface because the ray
+	// direction varies across the screen.
+	f.ViewAngle = p.viewAngle(f)
+
+	// Fragment shading (TEX routed through texSample).
+	p.curFrag = f
+	p.curTex = f.TexID
+	p.curNow = now
+	p.curCluster = cluster
+	p.curDone = now
+	p.machine.SetInput(0, shader.Vec{f.UV.X, f.UV.Y, 0, 0})
+	p.machine.SetInput(1, shader.Vec{f.Color.X, f.Color.Y, f.Color.Z, f.Color.W})
+	n := f.Normal.Normalize()
+	p.machine.SetInput(2, shader.Vec{n.X, n.Y, n.Z, 0})
+	if err := p.machine.Run(p.fs); err != nil {
+		panic(err)
+	}
+	out := p.machine.Output(0)
+
+	done := p.curDone
+	ring[head] = done
+	p.inflHead[cluster] = (head + 1) % len(ring)
+	if done > p.horizon[cluster] {
+		p.horizon[cluster] = done
+	}
+
+	// ROP: Z test + color write, through the ROP caches.
+	p.ropFragment(f, out, now)
+}
+
+// viewAngle computes the angle (radians) between the eye-space view ray
+// through the fragment's pixel and the fragment's surface normal.
+func (p *Pipeline) viewAngle(f *raster.Fragment) float32 {
+	rx := (2*(float32(f.X)+0.5)/float32(p.fb.W) - 1) * p.tanHalfFovX
+	ry := (1 - 2*(float32(f.Y)+0.5)/float32(p.fb.H)) * p.tanHalfFovY
+	ray := vmath.Vec3{X: rx, Y: ry, Z: -1}.Normalize()
+	n := f.Normal.Normalize()
+	cosA := vmath.Abs(ray.Dot(n))
+	return float32(math.Acos(float64(vmath.Clamp(cosA, 0, 1))))
+}
+
+// samplerUVScale maps a sampler index to the UV scale its layer applies in
+// the standard fragment program (gradients must scale with the UVs).
+func samplerUVScale(sampler uint8) float32 {
+	switch sampler {
+	case 1:
+		return shader.DetailUVScale
+	case 2:
+		return shader.LightmapUVScale
+	default:
+		return 1
+	}
+}
+
+// texSample is the TEX instruction hook: it builds the texture request for
+// the current fragment and forwards it to the design's texture path.
+// Sampler 0 binds the draw call's texture; samplers 1 and 2 bind the
+// detail and light-map layers (neighboring textures in the scene's
+// inventory, with gradients scaled by the layer's UV tiling).
+func (p *Pipeline) texSample(sampler uint8, coords shader.Vec) shader.Vec {
+	f := p.curFrag
+	texID := (p.curTex + int(sampler)) % len(p.scene.Textures)
+	tex := p.scene.Textures[texID]
+	scale := samplerUVScale(sampler)
+	grads := textureGradients(f)
+	grads.DUDX *= scale
+	grads.DVDX *= scale
+	grads.DUDY *= scale
+	grads.DVDY *= scale
+	foot := computeFootprint(tex, grads, p.effectiveMaxAniso())
+	foot.Angle = f.ViewAngle
+	req := TexRequest{
+		Tex:     tex,
+		U:       coords[0],
+		V:       coords[1],
+		Foot:    foot,
+		Cluster: p.curCluster,
+	}
+	res := p.Path.Sample(p.curNow, &req)
+	if res.Done > p.curDone {
+		p.curDone = res.Done
+	}
+	return shader.Vec{res.Color.R, res.Color.G, res.Color.B, res.Color.A}
+}
+
+func (p *Pipeline) effectiveMaxAniso() int {
+	if !p.Cfg.AnisoEnabled {
+		return 1
+	}
+	return p.Cfg.GPU.MaxAniso
+}
+
+// ropFragment performs the late Z test and color write with cache-modelled
+// memory traffic.
+func (p *Pipeline) ropFragment(f *raster.Fragment, colorOut shader.Vec, now int64) {
+	idx := f.Y*p.fb.W + f.X
+	p.activity.ZAccesses++
+
+	// Z read (the early-Z already compared; the ROP re-checks and writes).
+	zAddr := p.fb.DepthAddr(f.X, f.Y)
+	if r := p.zCache.Access(zAddr, false); !r.Hit {
+		done := p.Backend.Access(now, mem.Request{Addr: mem.LineAddr(zAddr), Size: mem.LineSize, Class: mem.ClassZ, Kind: mem.Read})
+		p.traffic.Record(mem.ClassZ, mem.Read, mem.LineSize+mem.RequestOverheadBytes)
+		p.noteBackendDone(done)
+	} else if r.Writeback {
+		p.writeback(r.VictimAddr, mem.ClassZ, now)
+	}
+	if f.Depth >= p.fb.Depth[idx] {
+		return // occluded
+	}
+	// Z write.
+	if r := p.zCache.Access(zAddr, true); r.Writeback {
+		p.writeback(r.VictimAddr, mem.ClassZ, now)
+	}
+	p.fb.Depth[idx] = f.Depth
+	p.rast.UpdateHiZ(raster.Tile{X0: f.X &^ (raster.TileSize - 1), Y0: f.Y &^ (raster.TileSize - 1)}, tileMaxDepth(p.fb, f.X, f.Y))
+
+	// Color write.
+	p.activity.ColorAccesses++
+	cAddr := p.fb.ColorAddr(f.X, f.Y)
+	if r := p.colorCache.Access(cAddr, true); !r.Hit {
+		// Allocate-on-write fill read.
+		done := p.Backend.Access(now, mem.Request{Addr: mem.LineAddr(cAddr), Size: mem.LineSize, Class: mem.ClassColor, Kind: mem.Read})
+		p.traffic.Record(mem.ClassColor, mem.Read, mem.LineSize+mem.RequestOverheadBytes)
+		p.noteBackendDone(done)
+		if r.Writeback {
+			p.writeback(r.VictimAddr, mem.ClassColor, now)
+		}
+	} else if r.Writeback {
+		p.writeback(r.VictimAddr, mem.ClassColor, now)
+	}
+	p.fb.Color[idx] = packShaderColor(colorOut)
+}
+
+func (p *Pipeline) writeback(addr uint64, class mem.Class, now int64) {
+	done := p.Backend.Access(now, mem.Request{Addr: addr, Size: mem.LineSize, Class: class, Kind: mem.Write})
+	p.traffic.Record(class, mem.Write, mem.LineSize+mem.RequestOverheadBytes)
+	p.noteBackendDone(done)
+}
+
+func (p *Pipeline) noteBackendDone(int64) {
+	// Backend completion feeds the frame total via Backend.BusyUntil();
+	// per-access results are not individually tracked for ROP traffic.
+}
+
+// tileMaxDepth scans the fragment's tile for its maximum depth (HiZ bound).
+// To keep the scan cheap it samples the tile's corners and center.
+func tileMaxDepth(fb *Framebuffer, x, y int) float32 {
+	x0 := x &^ (raster.TileSize - 1)
+	y0 := y &^ (raster.TileSize - 1)
+	maxD := float32(0)
+	for _, d := range [5][2]int{{0, 0}, {raster.TileSize - 1, 0}, {0, raster.TileSize - 1}, {raster.TileSize - 1, raster.TileSize - 1}, {raster.TileSize / 2, raster.TileSize / 2}} {
+		px := x0 + d[0]
+		py := y0 + d[1]
+		if px >= fb.W {
+			px = fb.W - 1
+		}
+		if py >= fb.H {
+			py = fb.H - 1
+		}
+		v := fb.Depth[py*fb.W+px]
+		if v > maxD {
+			maxD = v
+		}
+	}
+	return maxD
+}
+
+// flushROPCaches drains dirty Z/color lines at frame end.
+func (p *Pipeline) flushROPCaches(now int64) int64 {
+	end := now
+	for _, addr := range p.zCache.FlushDirty() {
+		done := p.Backend.Access(now, mem.Request{Addr: addr, Size: mem.LineSize, Class: mem.ClassZ, Kind: mem.Write})
+		p.traffic.Record(mem.ClassZ, mem.Write, mem.LineSize+mem.RequestOverheadBytes)
+		if done > end {
+			end = done
+		}
+	}
+	for _, addr := range p.colorCache.FlushDirty() {
+		done := p.Backend.Access(now, mem.Request{Addr: addr, Size: mem.LineSize, Class: mem.ClassColor, Kind: mem.Write})
+		p.traffic.Record(mem.ClassColor, mem.Write, mem.LineSize+mem.RequestOverheadBytes)
+		if done > end {
+			end = done
+		}
+	}
+	return end
+}
+
+// resolveFrame models the present/scan-out pass: the full color buffer is
+// read and written to the frame region.
+func (p *Pipeline) resolveFrame(now int64) int64 {
+	end := now
+	bytes := uint64(p.fb.W * p.fb.H * 4)
+	t := now
+	for off := uint64(0); off < bytes; off += mem.LineSize {
+		done := p.Backend.Access(t, mem.Request{Addr: mem.RegionColor + off, Size: mem.LineSize, Class: mem.ClassFrame, Kind: mem.Read})
+		p.traffic.Record(mem.ClassFrame, mem.Read, mem.LineSize+mem.RequestOverheadBytes)
+		done2 := p.Backend.Access(t, mem.Request{Addr: mem.RegionFrame + off, Size: mem.LineSize, Class: mem.ClassFrame, Kind: mem.Write})
+		p.traffic.Record(mem.ClassFrame, mem.Write, mem.LineSize+mem.RequestOverheadBytes)
+		if done2 > done {
+			done = done2
+		}
+		if done > end {
+			end = done
+		}
+		t += 2
+	}
+	return end
+}
+
+func packShaderColor(v shader.Vec) uint32 {
+	return packColor(v[0], v[1], v[2], v[3])
+}
+
+func packColor(r, g, b, a float32) uint32 {
+	cb := func(x float32) uint32 {
+		y := x*255 + 0.5
+		if y <= 0 {
+			return 0
+		}
+		if y >= 255 {
+			return 255
+		}
+		return uint32(y)
+	}
+	return cb(r) | cb(g)<<8 | cb(b)<<16 | cb(a)<<24
+}

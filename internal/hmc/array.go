@@ -1,0 +1,140 @@
+package hmc
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Cube is the interface the texture-filtering-in-memory paths program
+// against: a single HMC or an Array of them. Packet sends carry the
+// address they concern so an array can route them — Section V-E: "a parent
+// texel fetch package from a texture unit will be mapped to a single HMC
+// because the requested parent texels and their generated child texels
+// access different mipmap levels of the same texture".
+type Cube interface {
+	mem.Backend
+	// InternalAccess performs a logic-layer access (no external links).
+	InternalAccess(now int64, req mem.Request) int64
+	// SendPacketTo ships a host->cube package concerning addr.
+	SendPacketTo(now int64, addr uint64, payloadBytes int) int64
+	// ReturnPacketFrom ships a cube->host package concerning addr.
+	ReturnPacketFrom(now int64, addr uint64, payloadBytes int) int64
+	// Config returns the per-cube configuration.
+	Config() Config
+	// TotalStats aggregates statistics across all cubes.
+	TotalStats() Stats
+}
+
+// SendPacketTo implements Cube for a single HMC.
+func (h *HMC) SendPacketTo(now int64, _ uint64, payloadBytes int) int64 {
+	return h.SendPacket(now, payloadBytes)
+}
+
+// ReturnPacketFrom implements Cube for a single HMC.
+func (h *HMC) ReturnPacketFrom(now int64, _ uint64, payloadBytes int) int64 {
+	return h.ReturnPacket(now, payloadBytes)
+}
+
+// TotalStats implements Cube for a single HMC.
+func (h *HMC) TotalStats() Stats { return h.Stats() }
+
+// arrayGranularityBits is the address-interleave granularity across cubes:
+// 64 MiB regions, large enough that a texture's whole mip chain lives in
+// one cube (the Section V-E mapping requirement).
+const arrayGranularityBits = 26
+
+// Array is several cubes attached to one host, interleaved at coarse
+// address granularity. Each cube has its own links, switch and vaults, so
+// both external and internal bandwidth scale with the cube count.
+type Array struct {
+	cubes []*HMC
+}
+
+// NewArray builds n identically-configured cubes. n must be positive.
+func NewArray(n int, cfg Config) *Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("hmc: invalid cube count %d", n))
+	}
+	a := &Array{}
+	for i := 0; i < n; i++ {
+		a.cubes = append(a.cubes, New(cfg))
+	}
+	return a
+}
+
+// NumCubes returns the number of cubes.
+func (a *Array) NumCubes() int { return len(a.cubes) }
+
+func (a *Array) route(addr uint64) *HMC {
+	return a.cubes[(addr>>arrayGranularityBits)%uint64(len(a.cubes))]
+}
+
+// Name implements mem.Backend.
+func (a *Array) Name() string { return "hmc" }
+
+// PeakBandwidth implements mem.Backend (aggregate external peak).
+func (a *Array) PeakBandwidth() float64 {
+	return float64(len(a.cubes)) * a.cubes[0].PeakBandwidth()
+}
+
+// BusyUntil implements mem.Backend.
+func (a *Array) BusyUntil() int64 {
+	var m int64
+	for _, c := range a.cubes {
+		if b := c.BusyUntil(); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Reset implements mem.Backend.
+func (a *Array) Reset() {
+	for _, c := range a.cubes {
+		c.Reset()
+	}
+}
+
+// Access implements mem.Backend, routing by address.
+func (a *Array) Access(now int64, req mem.Request) int64 {
+	return a.route(req.Addr).Access(now, req)
+}
+
+// InternalAccess implements Cube, routing by address.
+func (a *Array) InternalAccess(now int64, req mem.Request) int64 {
+	return a.route(req.Addr).InternalAccess(now, req)
+}
+
+// SendPacketTo implements Cube.
+func (a *Array) SendPacketTo(now int64, addr uint64, payloadBytes int) int64 {
+	return a.route(addr).SendPacket(now, payloadBytes)
+}
+
+// ReturnPacketFrom implements Cube.
+func (a *Array) ReturnPacketFrom(now int64, addr uint64, payloadBytes int) int64 {
+	return a.route(addr).ReturnPacket(now, payloadBytes)
+}
+
+// Config implements Cube (per-cube configuration).
+func (a *Array) Config() Config { return a.cubes[0].Config() }
+
+// TotalStats implements Cube.
+func (a *Array) TotalStats() Stats {
+	var s Stats
+	for _, c := range a.cubes {
+		cs := c.Stats()
+		s.ExternalReads += cs.ExternalReads
+		s.ExternalWrites += cs.ExternalWrites
+		s.InternalReads += cs.InternalReads
+		s.InternalWrites += cs.InternalWrites
+		s.RowHits += cs.RowHits
+		s.RowMisses += cs.RowMisses
+		s.LinkBytesTx += cs.LinkBytesTx
+		s.LinkBytesRx += cs.LinkBytesRx
+		s.VaultBytes += cs.VaultBytes
+		s.LinkBusyCycles += cs.LinkBusyCycles
+		s.VaultBusyCycles += cs.VaultBusyCycles
+	}
+	return s
+}

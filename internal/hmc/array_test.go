@@ -1,0 +1,101 @@
+package hmc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestArrayRoutingDeterministic(t *testing.T) {
+	a := NewArray(2, DefaultConfig())
+	// Addresses within one 64MiB region route to the same cube; the next
+	// region routes to the other.
+	r0a := a.route(0x0000_0000)
+	r0b := a.route(0x0000_1000)
+	r1 := a.route(1 << arrayGranularityBits)
+	if r0a != r0b {
+		t.Fatal("same region routed to different cubes")
+	}
+	if r0a == r1 {
+		t.Fatal("adjacent regions routed to the same cube")
+	}
+}
+
+func TestArrayAggregateBandwidth(t *testing.T) {
+	one := New(DefaultConfig())
+	arr := NewArray(4, DefaultConfig())
+	if arr.PeakBandwidth() != 4*one.PeakBandwidth() {
+		t.Fatalf("array peak %.0f, want 4x single cube %.0f",
+			arr.PeakBandwidth(), one.PeakBandwidth())
+	}
+	if arr.NumCubes() != 4 {
+		t.Fatal("cube count wrong")
+	}
+}
+
+func TestArrayImplementsCube(t *testing.T) {
+	var _ Cube = New(DefaultConfig())
+	var _ Cube = NewArray(2, DefaultConfig())
+}
+
+func TestArrayStatsAggregate(t *testing.T) {
+	a := NewArray(2, DefaultConfig())
+	// One external read per region (distinct cubes).
+	a.Access(0, mem.Request{Addr: 0, Size: 64, Kind: mem.Read})
+	a.Access(0, mem.Request{Addr: 1 << arrayGranularityBits, Size: 64, Kind: mem.Read})
+	s := a.TotalStats()
+	if s.ExternalReads != 2 {
+		t.Fatalf("aggregate reads %d want 2", s.ExternalReads)
+	}
+	a.Reset()
+	if a.TotalStats().ExternalReads != 0 {
+		t.Fatal("reset did not clear cube stats")
+	}
+}
+
+func TestArrayPacketsRouteByAddress(t *testing.T) {
+	a := NewArray(2, DefaultConfig())
+	a.SendPacketTo(0, 0, 64)
+	a.ReturnPacketFrom(0, 1<<arrayGranularityBits, 64)
+	s0 := a.cubes[0].Stats()
+	s1 := a.cubes[1].Stats()
+	if s0.LinkBytesTx == 0 || s1.LinkBytesRx == 0 {
+		t.Fatalf("packets not routed: cube0 tx=%d, cube1 rx=%d", s0.LinkBytesTx, s1.LinkBytesRx)
+	}
+	if s0.LinkBytesRx != 0 || s1.LinkBytesTx != 0 {
+		t.Fatal("packets leaked to the wrong cube")
+	}
+}
+
+func TestArrayParallelismBeatsSingleCube(t *testing.T) {
+	// Saturating traffic spread over two regions drains faster through
+	// two cubes than one.
+	run := func(c Cube) int64 {
+		var last int64
+		for i := 0; i < 20000; i++ {
+			addr := uint64(i) * 64
+			if i%2 == 1 {
+				addr += 1 << arrayGranularityBits
+			}
+			done := c.Access(0, mem.Request{Addr: addr, Size: 64, Kind: mem.Read})
+			if done > last {
+				last = done
+			}
+		}
+		return last
+	}
+	single := run(New(DefaultConfig()))
+	double := run(NewArray(2, DefaultConfig()))
+	if double >= single {
+		t.Fatalf("two cubes (%d cycles) not faster than one (%d)", double, single)
+	}
+}
+
+func TestNewArrayPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewArray(0) did not panic")
+		}
+	}()
+	NewArray(0, DefaultConfig())
+}

@@ -1,0 +1,90 @@
+package hmc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/xrand"
+)
+
+// TestCubeCompletionNeverPrecedesArrival fuzzes external, internal and
+// packet paths together with jittered timestamps.
+func TestCubeCompletionNeverPrecedesArrival(t *testing.T) {
+	h := New(DefaultConfig())
+	rng := xrand.New(0x4C3)
+	var now int64
+	for i := 0; i < 100000; i++ {
+		now += int64(rng.Intn(6))
+		at := now - int64(rng.Intn(1500))
+		if at < 0 {
+			at = 0
+		}
+		addr := uint64(rng.Intn(1<<28)) &^ 15
+		var done int64
+		switch rng.Intn(4) {
+		case 0:
+			done = h.Access(at, mem.Request{Addr: addr &^ 63, Size: 64, Kind: mem.Read})
+		case 1:
+			done = h.Access(at, mem.Request{Addr: addr &^ 63, Size: 64, Kind: mem.Write})
+		case 2:
+			done = h.InternalAccess(at, mem.Request{Addr: addr, Size: 16, Kind: mem.Read})
+		default:
+			done = h.SendPacket(at, 48)
+		}
+		if done < at {
+			t.Fatalf("op %d completed at %d before arrival %d", i, done, at)
+		}
+		if done-at > 1_000_000 {
+			t.Fatalf("op %d latency %d unbounded", i, done-at)
+		}
+	}
+	s := h.Stats()
+	if s.ExternalReads == 0 || s.ExternalWrites == 0 || s.InternalReads == 0 {
+		t.Fatalf("fuzz did not exercise all paths: %+v", s)
+	}
+}
+
+// TestInternalBytesAccounting: internal accesses are charged at their
+// actual (fine-grained) size, not whole lines.
+func TestInternalBytesAccounting(t *testing.T) {
+	h := New(DefaultConfig())
+	for i := 0; i < 64; i++ {
+		h.InternalAccess(int64(i), mem.Request{Addr: uint64(i) * 16, Size: 16, Kind: mem.Read})
+	}
+	if got := h.Stats().VaultBytes; got != 64*16 {
+		t.Fatalf("internal bytes %d want %d (fine-grained accounting)", got, 64*16)
+	}
+}
+
+// TestExternalChargesWholeLines: the external path always moves lines.
+func TestExternalChargesWholeLines(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Access(0, mem.Request{Addr: 0, Size: 64, Kind: mem.Read})
+	if got := h.Stats().VaultBytes; got != 64 {
+		t.Fatalf("external access moved %d vault bytes, want 64", got)
+	}
+	if h.Stats().LinkBytesRx == 0 || h.Stats().LinkBytesTx == 0 {
+		t.Fatal("external access did not use both link directions")
+	}
+}
+
+// TestDeterministicAcrossReset mirrors the DRAM determinism check.
+func TestDeterministicAcrossReset(t *testing.T) {
+	h := New(DefaultConfig())
+	run := func() []int64 {
+		var out []int64
+		for i := 0; i < 1000; i++ {
+			out = append(out, h.Access(int64(i*2), mem.Request{
+				Addr: uint64(i*211) &^ 63, Size: 64, Kind: mem.Read}))
+		}
+		return out
+	}
+	a := run()
+	h.Reset()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("access %d differs after reset", i)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package hmc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestIdleExternalReadLatency(t *testing.T) {
+	h := New(DefaultConfig())
+	done := h.Access(0, mem.Request{Addr: 0x1000, Size: 64, Kind: mem.Read})
+	if done <= 0 || done > 80 {
+		t.Errorf("idle external read latency %d out of range (0, 80]", done)
+	}
+	t.Logf("idle external read: %d cycles", done)
+}
+
+func TestInternalFasterThanExternal(t *testing.T) {
+	hExt := New(DefaultConfig())
+	hInt := New(DefaultConfig())
+	ext := hExt.Access(0, mem.Request{Addr: 0x1000, Size: 64, Kind: mem.Read})
+	intl := hInt.InternalAccess(0, mem.Request{Addr: 0x1000, Size: 64, Kind: mem.Read})
+	t.Logf("external=%d internal=%d", ext, intl)
+	if intl >= ext {
+		t.Errorf("internal access (%d) should beat external (%d)", intl, ext)
+	}
+}
+
+func TestExternalStreamBandwidth(t *testing.T) {
+	h := New(DefaultConfig())
+	const n = 200000
+	var last int64
+	for i := 0; i < n; i++ {
+		done := h.Access(0, mem.Request{Addr: uint64(i) * 64, Size: 64, Kind: mem.Read})
+		if done > last {
+			last = done
+		}
+	}
+	bw := float64(n*64) / float64(last)
+	t.Logf("external sustained %.1f B/cy (peak %.1f)", bw, h.PeakBandwidth())
+	if bw < 100 {
+		t.Errorf("external sustained bandwidth %.1f too low", bw)
+	}
+}
+
+func TestInternalStreamBandwidth(t *testing.T) {
+	h := New(DefaultConfig())
+	const n = 200000
+	var last int64
+	for i := 0; i < n; i++ {
+		done := h.InternalAccess(0, mem.Request{Addr: uint64(i) * 64, Size: 64, Kind: mem.Read})
+		if done > last {
+			last = done
+		}
+	}
+	bw := float64(n*64) / float64(last)
+	t.Logf("internal sustained %.1f B/cy (peak %.1f)", bw, h.InternalPeakBandwidth())
+	if bw < 0.7*h.InternalPeakBandwidth() {
+		t.Errorf("internal sustained bandwidth %.1f below 70%% of peak %.1f", bw, h.InternalPeakBandwidth())
+	}
+	if bw <= h.PeakBandwidth() {
+		t.Errorf("internal bandwidth %.1f should exceed external peak %.1f", bw, h.PeakBandwidth())
+	}
+}
+
+// TestSTFIMLikeRoundTrip emulates the S-TFIM request pattern: package in,
+// a few internal line fetches, package out — at a modest arrival rate —
+// and checks the mean round trip stays bounded.
+func TestSTFIMLikeRoundTrip(t *testing.T) {
+	h := New(DefaultConfig())
+	const n = 50000
+	var sum int64
+	seed := uint64(99)
+	for i := 0; i < n; i++ {
+		now := int64(i * 5)
+		arrive := h.SendPacket(now, 64)
+		var maxMem int64 = arrive
+		for k := 0; k < 5; k++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			addr := (seed >> 18) % (1 << 28) &^ 63
+			done := h.InternalAccess(arrive, mem.Request{Addr: addr, Size: 64, Kind: mem.Read})
+			if done > maxMem {
+				maxMem = done
+			}
+		}
+		done := h.ReturnPacket(maxMem+4, 16)
+		sum += done - now
+	}
+	meanLat := float64(sum) / n
+	t.Logf("S-TFIM-like round trip mean latency: %.1f cycles", meanLat)
+	if meanLat > 400 {
+		t.Errorf("round trip latency %.1f looks unbounded", meanLat)
+	}
+}

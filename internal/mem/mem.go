@@ -1,0 +1,183 @@
+// Package mem defines the memory transaction model shared by every memory
+// backend in the simulator: request/response types, traffic accounting by
+// access class (the breakdown of Fig. 2 in the paper), and the global
+// address-space layout used to place textures, vertex buffers, the depth
+// buffer and the color/frame buffers.
+package mem
+
+import "fmt"
+
+// Class labels a memory access with the pipeline stage that produced it.
+// These are the five categories of the paper's Fig. 2 bandwidth breakdown.
+type Class uint8
+
+const (
+	// ClassTexture is a texel fetch issued during texture filtering.
+	ClassTexture Class = iota
+	// ClassGeometry is a vertex/index fetch issued by the vertex fetcher.
+	ClassGeometry
+	// ClassZ is a depth-buffer read or write issued by the Z test.
+	ClassZ
+	// ClassColor is a color-buffer read or write issued per fragment.
+	ClassColor
+	// ClassFrame is a frame-buffer resolve/present access.
+	ClassFrame
+	// NumClasses is the number of access classes.
+	NumClasses
+)
+
+// String returns the human-readable class name used in tables.
+func (c Class) String() string {
+	switch c {
+	case ClassTexture:
+		return "texture"
+	case ClassGeometry:
+		return "geometry"
+	case ClassZ:
+		return "z-test"
+	case ClassColor:
+		return "color"
+	case ClassFrame:
+		return "frame"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Kind distinguishes reads from writes.
+type Kind uint8
+
+const (
+	// Read is a memory read.
+	Read Kind = iota
+	// Write is a memory write.
+	Write
+)
+
+// String returns "read" or "write".
+func (k Kind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Request is one memory transaction presented to a backend.
+type Request struct {
+	// Addr is the byte address of the first byte accessed.
+	Addr uint64
+	// Size is the transaction size in bytes (usually one cache line).
+	Size uint32
+	// Class labels the producing pipeline stage.
+	Class Class
+	// Kind is Read or Write.
+	Kind Kind
+}
+
+// Traffic accounts bytes moved between the GPU and the memory device,
+// split by class and direction. It is the measurement behind Fig. 2 and
+// Fig. 12 of the paper.
+type Traffic struct {
+	bytes [NumClasses][2]uint64
+}
+
+// Record adds a transaction of the given class/kind/size.
+func (t *Traffic) Record(class Class, kind Kind, size uint32) {
+	t.bytes[class][kind] += uint64(size)
+}
+
+// Bytes returns the byte count for one class and direction.
+func (t *Traffic) Bytes(class Class, kind Kind) uint64 {
+	return t.bytes[class][kind]
+}
+
+// ClassTotal returns read+write bytes for one class.
+func (t *Traffic) ClassTotal(class Class) uint64 {
+	return t.bytes[class][Read] + t.bytes[class][Write]
+}
+
+// Total returns all bytes moved across every class.
+func (t *Traffic) Total() uint64 {
+	var s uint64
+	for c := Class(0); c < NumClasses; c++ {
+		s += t.ClassTotal(c)
+	}
+	return s
+}
+
+// TextureBytes returns the texture-class byte total (the Fig. 12 metric).
+func (t *Traffic) TextureBytes() uint64 { return t.ClassTotal(ClassTexture) }
+
+// Add merges the counts of o into t.
+func (t *Traffic) Add(o *Traffic) {
+	for c := 0; c < int(NumClasses); c++ {
+		t.bytes[c][0] += o.bytes[c][0]
+		t.bytes[c][1] += o.bytes[c][1]
+	}
+}
+
+// Share returns the fraction (0..1) of total traffic contributed by class c;
+// 0 when no traffic has been recorded.
+func (t *Traffic) Share(c Class) float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(t.ClassTotal(c)) / float64(total)
+}
+
+// Address-space layout. The simulator places every surface in one flat
+// physical address space; region bases are spaced far apart so streams map
+// to distinct rows/banks like separate surfaces would on real hardware.
+const (
+	// LineSize is the memory transaction granularity in bytes.
+	LineSize = 64
+
+	// RequestOverheadBytes is the command/address packet cost accounted
+	// per transaction: the paper's traffic metric counts "total transmit
+	// bytes of the texture requests", i.e. requests as well as data.
+	RequestOverheadBytes = 16
+
+	// RegionTexture is the base address of texture storage.
+	RegionTexture uint64 = 0x0000_0000_0000
+	// RegionVertex is the base address of vertex/index buffers.
+	RegionVertex uint64 = 0x0040_0000_0000
+	// RegionDepth is the base address of the depth buffer.
+	RegionDepth uint64 = 0x0060_0000_0000
+	// RegionColor is the base address of the color buffer.
+	RegionColor uint64 = 0x0070_0000_0000
+	// RegionFrame is the base address of the resolved frame buffer.
+	RegionFrame uint64 = 0x0078_0000_0000
+)
+
+// LineAddr rounds addr down to its containing line.
+func LineAddr(addr uint64) uint64 { return addr &^ uint64(LineSize-1) }
+
+// LinesCovered returns how many LineSize lines the byte range
+// [addr, addr+size) touches.
+func LinesCovered(addr uint64, size uint32) int {
+	if size == 0 {
+		return 0
+	}
+	first := LineAddr(addr)
+	last := LineAddr(addr + uint64(size) - 1)
+	return int((last-first)/LineSize) + 1
+}
+
+// Backend is a timing model for a memory device. Requests must be presented
+// with non-decreasing `now` values (the simulator's global cycle cursor);
+// the backend returns the cycle at which the transaction's data is available
+// (reads) or accepted (writes).
+type Backend interface {
+	// Access performs one transaction at GPU cycle `now` and returns its
+	// completion cycle.
+	Access(now int64, req Request) int64
+	// Name identifies the backend ("gddr5", "hmc").
+	Name() string
+	// PeakBandwidth returns the theoretical external peak in bytes/GPU-cycle.
+	PeakBandwidth() float64
+	// BusyUntil returns the latest completion horizon scheduled so far.
+	BusyUntil() int64
+	// Reset clears all scheduling state and statistics.
+	Reset()
+}

@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrafficAccounting(t *testing.T) {
+	var tr Traffic
+	tr.Record(ClassTexture, Read, 64)
+	tr.Record(ClassTexture, Write, 16)
+	tr.Record(ClassZ, Read, 64)
+	if tr.Bytes(ClassTexture, Read) != 64 {
+		t.Errorf("texture reads %d", tr.Bytes(ClassTexture, Read))
+	}
+	if tr.ClassTotal(ClassTexture) != 80 {
+		t.Errorf("texture total %d", tr.ClassTotal(ClassTexture))
+	}
+	if tr.Total() != 144 {
+		t.Errorf("total %d", tr.Total())
+	}
+	if tr.TextureBytes() != 80 {
+		t.Errorf("TextureBytes %d", tr.TextureBytes())
+	}
+}
+
+func TestTrafficShare(t *testing.T) {
+	var tr Traffic
+	if tr.Share(ClassTexture) != 0 {
+		t.Error("empty traffic share should be 0")
+	}
+	tr.Record(ClassTexture, Read, 75)
+	tr.Record(ClassColor, Write, 25)
+	if s := tr.Share(ClassTexture); s != 0.75 {
+		t.Errorf("texture share %g want 0.75", s)
+	}
+}
+
+func TestTrafficAdd(t *testing.T) {
+	var a, b Traffic
+	a.Record(ClassFrame, Write, 10)
+	b.Record(ClassFrame, Write, 20)
+	b.Record(ClassGeometry, Read, 5)
+	a.Add(&b)
+	if a.ClassTotal(ClassFrame) != 30 || a.ClassTotal(ClassGeometry) != 5 {
+		t.Fatalf("add wrong: frame=%d geo=%d", a.ClassTotal(ClassFrame), a.ClassTotal(ClassGeometry))
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(63) != 0 || LineAddr(64) != 64 || LineAddr(130) != 128 {
+		t.Fatal("LineAddr rounding wrong")
+	}
+}
+
+func TestLinesCovered(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		size uint32
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{60, 8, 2}, // straddles a boundary
+		{64, 128, 2},
+	}
+	for _, c := range cases {
+		if got := LinesCovered(c.addr, c.size); got != c.want {
+			t.Errorf("LinesCovered(%d,%d)=%d want %d", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestLinesCoveredProperty(t *testing.T) {
+	// Property: every byte of [addr, addr+size) lies within the counted
+	// line span, and the count is minimal.
+	err := quick.Check(func(addrRaw uint32, sizeRaw uint16) bool {
+		addr := uint64(addrRaw)
+		size := uint32(sizeRaw)
+		n := LinesCovered(addr, size)
+		if size == 0 {
+			return n == 0
+		}
+		first := LineAddr(addr)
+		last := LineAddr(addr + uint64(size) - 1)
+		return uint64(n) == (last-first)/LineSize+1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	names := map[Class]string{
+		ClassTexture:  "texture",
+		ClassGeometry: "geometry",
+		ClassZ:        "z-test",
+		ClassColor:    "color",
+		ClassFrame:    "frame",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String()=%q want %q", c, c.String(), want)
+		}
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	regions := []uint64{RegionTexture, RegionVertex, RegionDepth, RegionColor, RegionFrame}
+	for i := 1; i < len(regions); i++ {
+		if regions[i] <= regions[i-1] {
+			t.Fatalf("regions not strictly increasing at %d", i)
+		}
+		if regions[i]-regions[i-1] < 1<<30 {
+			t.Fatalf("regions %d and %d closer than 1GiB", i-1, i)
+		}
+	}
+}

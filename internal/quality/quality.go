@@ -1,0 +1,159 @@
+// Package quality measures rendering quality: PSNR (the paper's Fig. 15/16
+// metric) and SSIM between rendered frames, plus PPM/PNG frame export.
+package quality
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// PSNRCap is the PSNR reported for identical images; the paper states "the
+// PSNR of the baseline is 99 (comparing two identical images)".
+const PSNRCap = 99.0
+
+// PSNR computes the peak signal-to-noise ratio (dB) between two RGBA8
+// frames of equal size, over the RGB channels. Identical frames return
+// PSNRCap.
+func PSNR(a, b []uint32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("quality: frame size mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("quality: empty frames")
+	}
+	var sse float64
+	for i := range a {
+		pa, pb := a[i], b[i]
+		for sh := 0; sh < 24; sh += 8 {
+			d := float64(int64((pa>>sh)&0xff) - int64((pb>>sh)&0xff))
+			sse += d * d
+		}
+	}
+	n := float64(len(a) * 3)
+	mse := sse / n
+	if mse == 0 {
+		return PSNRCap, nil
+	}
+	p := 10 * math.Log10(255*255/mse)
+	if p > PSNRCap {
+		p = PSNRCap
+	}
+	return p, nil
+}
+
+// MSE returns the mean squared error over RGB channels.
+func MSE(a, b []uint32) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("quality: frame size mismatch")
+	}
+	var sse float64
+	for i := range a {
+		pa, pb := a[i], b[i]
+		for sh := 0; sh < 24; sh += 8 {
+			d := float64(int64((pa>>sh)&0xff) - int64((pb>>sh)&0xff))
+			sse += d * d
+		}
+	}
+	return sse / float64(len(a)*3), nil
+}
+
+// SSIM computes the global Structural Similarity index between the
+// luminance planes of two RGBA8 frames (single-window variant; the paper
+// discusses SSIM as the alternative metric it decided against).
+func SSIM(a, b []uint32) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("quality: frame size mismatch")
+	}
+	la := make([]float64, len(a))
+	lb := make([]float64, len(b))
+	for i := range a {
+		la[i] = luma(a[i])
+		lb[i] = luma(b[i])
+	}
+	meanA := mean(la)
+	meanB := mean(lb)
+	var varA, varB, cov float64
+	for i := range la {
+		da := la[i] - meanA
+		db := lb[i] - meanB
+		varA += da * da
+		varB += db * db
+		cov += da * db
+	}
+	n := float64(len(la) - 1)
+	if n < 1 {
+		n = 1
+	}
+	varA /= n
+	varB /= n
+	cov /= n
+	const (
+		c1 = (0.01 * 255) * (0.01 * 255)
+		c2 = (0.03 * 255) * (0.03 * 255)
+	)
+	num := (2*meanA*meanB + c1) * (2*cov + c2)
+	den := (meanA*meanA + meanB*meanB + c1) * (varA + varB + c2)
+	return num / den, nil
+}
+
+func luma(p uint32) float64 {
+	r := float64(p & 0xff)
+	g := float64((p >> 8) & 0xff)
+	b := float64((p >> 16) & 0xff)
+	return 0.299*r + 0.587*g + 0.114*b
+}
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// WritePPM writes the frame as a binary PPM (P6) image.
+func WritePPM(w io.Writer, pix []uint32, width, height int) error {
+	if len(pix) != width*height {
+		return fmt.Errorf("quality: pixel count %d != %dx%d", len(pix), width, height)
+	}
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	row := make([]byte, width*3)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			p := pix[y*width+x]
+			row[x*3] = byte(p & 0xff)
+			row[x*3+1] = byte((p >> 8) & 0xff)
+			row[x*3+2] = byte((p >> 16) & 0xff)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePNG writes the frame as a PNG image.
+func WritePNG(w io.Writer, pix []uint32, width, height int) error {
+	if len(pix) != width*height {
+		return fmt.Errorf("quality: pixel count %d != %dx%d", len(pix), width, height)
+	}
+	img := image.NewNRGBA(image.Rect(0, 0, width, height))
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			p := pix[y*width+x]
+			img.SetNRGBA(x, y, color.NRGBA{
+				R: uint8(p & 0xff),
+				G: uint8((p >> 8) & 0xff),
+				B: uint8((p >> 16) & 0xff),
+				A: 255,
+			})
+		}
+	}
+	return png.Encode(w, img)
+}

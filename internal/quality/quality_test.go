@@ -1,0 +1,159 @@
+package quality
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func solid(n int, p uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+func TestPSNRIdenticalIsCapped(t *testing.T) {
+	a := solid(100, 0xff112233)
+	p, err := PSNR(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != PSNRCap {
+		t.Fatalf("identical PSNR %g want %g (the paper reports 99)", p, PSNRCap)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	// All channels differ by exactly 1: MSE=1 -> PSNR = 10*log10(255^2).
+	a := solid(64, 0xff101010)
+	b := solid(64, 0xff111111)
+	p, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(255*255)
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("PSNR %g want %g", p, want)
+	}
+}
+
+func TestPSNRMonotoneInError(t *testing.T) {
+	a := solid(64, 0xff000000)
+	small := solid(64, 0xff050505)
+	big := solid(64, 0xff404040)
+	ps, _ := PSNR(a, small)
+	pb, _ := PSNR(a, big)
+	if ps <= pb {
+		t.Fatalf("PSNR not monotone: small err %g <= big err %g", ps, pb)
+	}
+}
+
+func TestPSNRSizeMismatch(t *testing.T) {
+	if _, err := PSNR(solid(4, 0), solid(5, 0)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := PSNR(nil, nil); err == nil {
+		t.Fatal("empty frames accepted")
+	}
+}
+
+func TestPSNRSymmetry(t *testing.T) {
+	err := quick.Check(func(a8, b8 [16]uint32) bool {
+		a := a8[:]
+		b := b8[:]
+		pa, _ := PSNR(a, b)
+		pb, _ := PSNR(b, a)
+		return pa == pb
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSE(t *testing.T) {
+	a := solid(10, 0xff000000)
+	b := solid(10, 0xff020202)
+	m, err := MSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 4 {
+		t.Fatalf("MSE %g want 4", m)
+	}
+}
+
+func TestSSIMIdentity(t *testing.T) {
+	// A frame with some variance compared to itself: SSIM = 1.
+	a := make([]uint32, 64)
+	for i := range a {
+		a[i] = uint32(i*4) | 0xff000000
+	}
+	s, err := SSIM(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("self-SSIM %g want 1", s)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	a := make([]uint32, 256)
+	b := make([]uint32, 256)
+	for i := range a {
+		v := uint32(i) & 0xff
+		a[i] = v | v<<8 | v<<16 | 0xff000000
+		w := (v + 60) & 0xff
+		b[i] = w | w<<8 | w<<16 | 0xff000000
+	}
+	s, err := SSIM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s >= 0.99 {
+		t.Fatalf("noisy SSIM %g should be below identity", s)
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	var buf bytes.Buffer
+	pix := solid(6, 0xff0000ff) // red
+	if err := WritePPM(&buf, pix, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P6\n3 2\n255\n") {
+		t.Fatalf("ppm header wrong: %q", out[:20])
+	}
+	if buf.Len() != len("P6\n3 2\n255\n")+3*2*3 {
+		t.Fatalf("ppm size %d", buf.Len())
+	}
+	if err := WritePPM(&buf, pix, 4, 2); err == nil {
+		t.Fatal("wrong dimensions accepted")
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	pix := []uint32{0xff0000ff, 0xff00ff00, 0xffff0000, 0xff888888}
+	if err := WritePNG(&buf, pix, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b, _ := img.At(0, 0).RGBA()
+	if r>>8 != 0xff || g>>8 != 0 || b>>8 != 0 {
+		t.Fatalf("pixel (0,0) = %d,%d,%d want red", r>>8, g>>8, b>>8)
+	}
+	r, g, _, _ = img.At(1, 0).RGBA()
+	if r>>8 != 0 || g>>8 != 0xff {
+		t.Fatal("pixel (1,0) not green")
+	}
+}

@@ -1,0 +1,119 @@
+package raster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/texture"
+	"repro/internal/vmath"
+)
+
+// buildFloor returns a large floor quad triangle (world-space y=0) under a
+// grazing camera, returning its setup triangles.
+func buildFloorSetup(t *testing.T, r *Rasterizer) []SetupTriangle {
+	t.Helper()
+	cam := struct {
+		eye, center, up vmath.Vec3
+	}{vmath.Vec3{X: 0, Y: 1.7, Z: 0}, vmath.Vec3{X: 0, Y: 1.5, Z: -8}, vmath.Vec3{Y: 1}}
+	proj := vmath.Perspective(1.1, float32(r.W)/float32(r.H), 0.1, 300)
+	view := vmath.LookAt(cam.eye, cam.center, cam.up)
+	mvp := proj.Mul(view)
+
+	mk := func(x, z, u, v float32) Vertex {
+		p := mvp.MulVec(vmath.Vec4{X: x, Y: 0, Z: z, W: 1})
+		return Vertex{Pos: p, UV: vmath.Vec2{X: u, Y: v}, Color: vmath.Vec4{X: 1, Y: 1, Z: 1, W: 1},
+			Normal: vmath.Vec3{Y: 1}}
+	}
+	const uvScale = 32
+	v0 := mk(-20, -1, 0, 0)
+	v1 := mk(20, -1, uvScale, 0)
+	v2 := mk(20, -120, uvScale, uvScale)
+	v3 := mk(-20, -120, 0, uvScale)
+	var out []SetupTriangle
+	out = append(out, r.Setup([3]Vertex{v0, v1, v2}, 0)...)
+	out = append(out, r.Setup([3]Vertex{v0, v2, v3}, 0)...)
+	if len(out) == 0 {
+		t.Fatal("floor quad fully culled")
+	}
+	return out
+}
+
+// TestGradientsMatchFiniteDifferences verifies the analytic UV derivatives
+// against finite differences between horizontally adjacent fragments.
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	r := New(320, 240)
+	r.EarlyZ = false
+	r.HiZ = false
+	frags := map[[2]int]*Fragment{}
+	for _, st := range buildFloorSetup(t, r) {
+		st := st
+		for _, tile := range st.Tiles() {
+			r.ScanTile(&st, tile, func(f *Fragment) {
+				c := *f
+				frags[[2]int{f.X, f.Y}] = &c
+			})
+		}
+	}
+	if len(frags) < 1000 {
+		t.Fatalf("too few fragments rasterized: %d", len(frags))
+	}
+	checked := 0
+	for pos, f := range frags {
+		nx, ok := frags[[2]int{pos[0] + 1, pos[1]}]
+		if !ok {
+			continue
+		}
+		fdU := nx.UV.X - f.UV.X
+		fdV := nx.UV.Y - f.UV.Y
+		// The analytic derivative at the midpoint should approximate the
+		// finite difference within 25% (perspective curvature).
+		if math.Abs(float64(f.DUDX-fdU)) > 0.25*math.Abs(float64(fdU))+1e-4 {
+			t.Fatalf("DUDX mismatch at %v: analytic %g vs fd %g", pos, f.DUDX, fdU)
+		}
+		if math.Abs(float64(f.DVDX-fdV)) > 0.25*math.Abs(float64(fdV))+1e-4 {
+			t.Fatalf("DVDX mismatch at %v: analytic %g vs fd %g", pos, f.DVDX, fdV)
+		}
+		checked++
+		if checked > 3000 {
+			break
+		}
+	}
+	if checked < 500 {
+		t.Fatalf("too few horizontally adjacent pairs checked: %d", checked)
+	}
+}
+
+// TestFloorAnisotropyDegree checks that a grazing floor produces high
+// anisotropy degrees (the premise of the paper's Section II-C): the mean N
+// across floor fragments should be well above 2 and many fragments should
+// reach the 16x cap.
+func TestFloorAnisotropyDegree(t *testing.T) {
+	r := New(320, 240)
+	r.EarlyZ = false
+	r.HiZ = false
+	tex := texture.NewTexture(0, "floor", 1024, 1024, texture.LayoutMorton, texture.WrapRepeat)
+	tex.BuildMipmaps()
+
+	var sumN, count float64
+	hist := map[int]int{}
+	for _, st := range buildFloorSetup(t, r) {
+		st := st
+		for _, tile := range st.Tiles() {
+			r.ScanTile(&st, tile, func(f *Fragment) {
+				g := texture.Gradients{DUDX: f.DUDX, DVDX: f.DVDX, DUDY: f.DUDY, DVDY: f.DVDY}
+				foot := texture.ComputeFootprint(tex, g, 16)
+				sumN += float64(foot.N)
+				count++
+				hist[foot.N]++
+			})
+		}
+	}
+	meanN := sumN / count
+	t.Logf("floor fragments=%d meanN=%.2f hist=%v", int(count), meanN, hist)
+	if meanN < 3 {
+		t.Errorf("mean anisotropy degree %.2f too low for a grazing floor", meanN)
+	}
+	if hist[16] == 0 {
+		t.Errorf("no fragment reached the 16x anisotropy cap")
+	}
+}

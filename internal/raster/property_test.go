@@ -1,0 +1,112 @@
+package raster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vmath"
+	"repro/internal/xrand"
+)
+
+// TestInterpolationStaysInVertexHull fuzzes random visible triangles and
+// checks every interpolated fragment attribute lies within the convex hull
+// of the vertex values (a property of barycentric interpolation that also
+// holds perspective-corrected).
+func TestInterpolationStaysInVertexHull(t *testing.T) {
+	r := New(128, 128)
+	r.EarlyZ = false
+	r.HiZ = false
+	rng := xrand.New(0x9A57)
+	checked := 0
+	for tri := 0; tri < 300; tri++ {
+		var v [3]Vertex
+		var minU, maxU, minC, maxC float32 = 1e9, -1e9, 1e9, -1e9
+		for i := range v {
+			w := rng.Range(0.5, 6)
+			u := rng.Range(-3, 3)
+			col := rng.Float32()
+			v[i] = Vertex{
+				Pos:   vmath.Vec4{X: rng.Range(-1, 1) * w, Y: rng.Range(-1, 1) * w, Z: 0, W: w},
+				UV:    vmath.Vec2{X: u, Y: 0},
+				Color: vmath.Vec4{X: col, W: 1},
+			}
+			minU = vmath.Min(minU, u)
+			maxU = vmath.Max(maxU, u)
+			minC = vmath.Min(minC, col)
+			maxC = vmath.Max(maxC, col)
+		}
+		for _, st := range r.Setup(v, 0) {
+			st := st
+			for _, tile := range st.Tiles() {
+				r.ScanTile(&st, tile, func(f *Fragment) {
+					const eps = 1e-3
+					if f.UV.X < minU-eps || f.UV.X > maxU+eps {
+						t.Fatalf("U %g outside hull [%g, %g]", f.UV.X, minU, maxU)
+					}
+					if f.Color.X < minC-eps || f.Color.X > maxC+eps {
+						t.Fatalf("color %g outside hull [%g, %g]", f.Color.X, minC, maxC)
+					}
+					checked++
+				})
+			}
+		}
+	}
+	if checked < 10000 {
+		t.Fatalf("only %d fragments checked; fuzz ineffective", checked)
+	}
+}
+
+// TestFragmentsWithinBounds: no fragment may ever land outside the render
+// target, for arbitrary (partially off-screen) triangles.
+func TestFragmentsWithinBounds(t *testing.T) {
+	r := New(64, 48)
+	r.EarlyZ = false
+	r.HiZ = false
+	rng := xrand.New(0xB0B)
+	for tri := 0; tri < 500; tri++ {
+		var v [3]Vertex
+		for i := range v {
+			w := rng.Range(0.2, 4)
+			v[i] = Vertex{Pos: vmath.Vec4{
+				X: rng.Range(-4, 4) * w, Y: rng.Range(-4, 4) * w,
+				Z: rng.Range(-1, 1) * w, W: w}}
+		}
+		for _, st := range r.Setup(v, 0) {
+			st := st
+			for _, tile := range st.Tiles() {
+				r.ScanTile(&st, tile, func(f *Fragment) {
+					if f.X < 0 || f.X >= 64 || f.Y < 0 || f.Y >= 48 {
+						t.Fatalf("fragment at (%d,%d) outside 64x48", f.X, f.Y)
+					}
+					if math.IsNaN(float64(f.Depth)) {
+						t.Fatal("NaN depth")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStatsConservation: emitted + earlyZ-rejected fragments equal the
+// covered fragments counted in.
+func TestStatsConservation(t *testing.T) {
+	r := New(64, 64)
+	depth := make([]float32, 64*64)
+	for i := range depth {
+		if i%2 == 0 {
+			depth[i] = 1 // pass
+		} // odd pixels: 0 -> reject
+	}
+	r.Depth = depth
+	r.HiZ = false
+	st := r.Setup(fullscreenTri(), 0)
+	countFragments(r, st)
+	s := r.Stats()
+	if s.FragmentsEmitted+s.FragmentsEarlyZ != s.FragmentsIn {
+		t.Fatalf("conservation violated: %d + %d != %d",
+			s.FragmentsEmitted, s.FragmentsEarlyZ, s.FragmentsIn)
+	}
+	if s.FragmentsEarlyZ == 0 || s.FragmentsEmitted == 0 {
+		t.Fatal("expected both accepted and rejected fragments")
+	}
+}

@@ -1,0 +1,225 @@
+package raster
+
+import (
+	"testing"
+
+	"repro/internal/vmath"
+)
+
+// fullscreenTri returns a clip-space triangle covering the whole viewport.
+func fullscreenTri() [3]Vertex {
+	mk := func(x, y float32) Vertex {
+		return Vertex{
+			Pos:    vmath.Vec4{X: x, Y: y, Z: 0, W: 1},
+			UV:     vmath.Vec2{X: (x + 1) / 2, Y: (y + 1) / 2},
+			Color:  vmath.Vec4{X: 1, Y: 1, Z: 1, W: 1},
+			Normal: vmath.Vec3{Z: 1},
+		}
+	}
+	// Counter-clockwise in NDC (front-facing).
+	return [3]Vertex{mk(-3, -1), mk(3, -1), mk(0, 3)}
+}
+
+func countFragments(r *Rasterizer, st []SetupTriangle) int {
+	n := 0
+	for i := range st {
+		for _, tile := range st[i].Tiles() {
+			n += r.ScanTile(&st[i], tile, func(*Fragment) {})
+		}
+	}
+	return n
+}
+
+func TestFullscreenCoverage(t *testing.T) {
+	r := New(64, 64)
+	r.EarlyZ = false
+	r.HiZ = false
+	st := r.Setup(fullscreenTri(), 0)
+	if len(st) != 1 {
+		t.Fatalf("setup returned %d triangles", len(st))
+	}
+	if n := countFragments(r, st); n != 64*64 {
+		t.Fatalf("fullscreen triangle covered %d pixels, want %d", n, 64*64)
+	}
+}
+
+func TestBackfaceCulled(t *testing.T) {
+	r := New(64, 64)
+	tri := fullscreenTri()
+	tri[1], tri[2] = tri[2], tri[1] // reverse winding
+	if st := r.Setup(tri, 0); len(st) != 0 {
+		t.Fatal("back-facing triangle survived culling")
+	}
+	if r.Stats().Culled != 1 {
+		t.Errorf("culled stat %d", r.Stats().Culled)
+	}
+}
+
+func TestAdjacentTrianglesNoDoubleCoverage(t *testing.T) {
+	// Two triangles sharing a diagonal edge must cover each pixel exactly
+	// once (top-left fill rule approximated by the >= 0 edge test plus
+	// shared-edge orientation).
+	r := New(32, 32)
+	r.EarlyZ = false
+	r.HiZ = false
+	mk := func(x, y float32) Vertex {
+		return Vertex{Pos: vmath.Vec4{X: x, Y: y, Z: 0, W: 1}, Normal: vmath.Vec3{Z: 1}}
+	}
+	v00 := mk(-1, -1)
+	v10 := mk(1, -1)
+	v01 := mk(-1, 1)
+	v11 := mk(1, 1)
+	counts := map[[2]int]int{}
+	emit := func(f *Fragment) { counts[[2]int{f.X, f.Y}]++ }
+	for _, tri := range [][3]Vertex{{v00, v10, v11}, {v00, v11, v01}} {
+		for _, st := range r.Setup(tri, 0) {
+			st := st
+			for _, tile := range st.Tiles() {
+				r.ScanTile(&st, tile, emit)
+			}
+		}
+	}
+	over := 0
+	for _, c := range counts {
+		if c > 1 {
+			over++
+		}
+	}
+	// The shared diagonal may double-cover under the inclusive edge rule;
+	// it must stay a thin line (<= diagonal length), not an area.
+	if over > 32 {
+		t.Fatalf("%d pixels double-covered (inclusive edges leaking)", over)
+	}
+	if len(counts) != 32*32 {
+		t.Fatalf("quad covered %d pixels, want %d", len(counts), 32*32)
+	}
+}
+
+func TestNearPlaneClipping(t *testing.T) {
+	r := New(64, 64)
+	r.EarlyZ = false
+	r.HiZ = false
+	mkClip := func(x, y, w float32) Vertex {
+		return Vertex{Pos: vmath.Vec4{X: x, Y: y, Z: 0, W: w}}
+	}
+	// Two vertices near the top of the screen in front of the camera, one
+	// behind it with positive clip-space Y: the visible wedge extends
+	// upward past the screen top and must rasterize fragments.
+	tri := [3]Vertex{mkClip(-0.9, 0.5, 1), mkClip(0.9, 0.5, 1), mkClip(0, 2, -1)}
+	st := r.Setup(tri, 0)
+	st2 := r.Setup([3]Vertex{tri[0], tri[2], tri[1]}, 0) // either winding
+	frags := countFragments(r, st) + countFragments(r, st2)
+	if frags == 0 {
+		t.Fatal("near-clipped triangle produced no fragments")
+	}
+	if r.Stats().Clipped == 0 {
+		t.Error("clip stat not incremented")
+	}
+}
+
+func TestFullyBehindCulled(t *testing.T) {
+	r := New(64, 64)
+	mk := func(x, y float32) Vertex {
+		return Vertex{Pos: vmath.Vec4{X: x, Y: y, Z: 0, W: -1}}
+	}
+	if st := r.Setup([3]Vertex{mk(0, 0), mk(1, 0), mk(0, 1)}, 0); len(st) != 0 {
+		t.Fatal("fully-behind triangle rasterized")
+	}
+}
+
+func TestEarlyZRejects(t *testing.T) {
+	r := New(64, 64)
+	r.HiZ = false
+	depth := make([]float32, 64*64)
+	r.Depth = depth
+	// Depth buffer already holds nearer geometry (0.0); incoming triangle
+	// at z=0 maps to depth 0.5 and must be rejected everywhere.
+	st := r.Setup(fullscreenTri(), 0)
+	if n := countFragments(r, st); n != 0 {
+		t.Fatalf("early-Z passed %d fragments against a nearer buffer", n)
+	}
+	if r.Stats().FragmentsEarlyZ == 0 {
+		t.Error("early-Z stat not incremented")
+	}
+}
+
+func TestHiZRejectsTiles(t *testing.T) {
+	r := New(64, 64)
+	depth := make([]float32, 64*64)
+	r.Depth = depth // all zero: everything occluded
+	// Mark every tile's HiZ as fully near.
+	for ty := 0; ty < 4; ty++ {
+		for tx := 0; tx < 4; tx++ {
+			r.UpdateHiZ(Tile{X0: tx * TileSize, Y0: ty * TileSize}, 0)
+		}
+	}
+	st := r.Setup(fullscreenTri(), 0)
+	countFragments(r, st)
+	if r.Stats().HiZRejectedTiles == 0 {
+		t.Fatal("HiZ rejected no tiles")
+	}
+}
+
+func TestPerspectiveCorrectInterpolation(t *testing.T) {
+	// A triangle with strongly varying W: UV interpolation must be
+	// hyperbolic (perspective-correct), not linear in screen space.
+	r := New(64, 64)
+	r.EarlyZ = false
+	r.HiZ = false
+	mkw := func(x, y, w, u float32) Vertex {
+		return Vertex{
+			Pos: vmath.Vec4{X: x * w, Y: y * w, Z: 0, W: w},
+			UV:  vmath.Vec2{X: u, Y: 0},
+		}
+	}
+	tri := [3]Vertex{mkw(-1, -1, 1, 0), mkw(1, -1, 10, 1), mkw(-1, 3, 1, 0)}
+	var mid *Fragment
+	for _, st := range r.Setup(tri, 0) {
+		st := st
+		for _, tile := range st.Tiles() {
+			r.ScanTile(&st, tile, func(f *Fragment) {
+				if f.Y == 48 && f.X == 31 {
+					c := *f
+					mid = &c
+				}
+			})
+		}
+	}
+	if mid == nil {
+		t.Skip("midpoint not covered under this clipping")
+	}
+	// Linear interpolation would give ~0.5 at the screen midpoint; the
+	// perspective-correct value is pulled toward the low-W vertex.
+	if mid.UV.X > 0.4 {
+		t.Fatalf("U at screen midpoint = %g, not perspective-correct", mid.UV.X)
+	}
+}
+
+func TestTilesCoverBoundingBox(t *testing.T) {
+	r := New(128, 128)
+	st := r.Setup(fullscreenTri(), 0)
+	if len(st) != 1 {
+		t.Fatal("setup failed")
+	}
+	tiles := st[0].Tiles()
+	want := (128 / TileSize) * (128 / TileSize)
+	if len(tiles) != want {
+		t.Fatalf("fullscreen triangle touches %d tiles, want %d", len(tiles), want)
+	}
+}
+
+func TestDepthRange(t *testing.T) {
+	r := New(32, 32)
+	r.EarlyZ = false
+	r.HiZ = false
+	st := r.Setup(fullscreenTri(), 0)
+	for i := range st {
+		for _, tile := range st[i].Tiles() {
+			r.ScanTile(&st[i], tile, func(f *Fragment) {
+				if f.Depth < 0 || f.Depth > 1 {
+					t.Fatalf("depth %g out of [0,1]", f.Depth)
+				}
+			})
+		}
+	}
+}

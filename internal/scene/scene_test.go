@@ -1,0 +1,156 @@
+package scene
+
+import (
+	"testing"
+
+	"repro/internal/texture"
+	"repro/internal/vmath"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name:             "test",
+		Seed:             42,
+		CorridorSegments: 4,
+		Props:            10,
+		TextureCount:     3,
+		TextureSize:      32,
+		Frames:           4,
+		ObliqueBias:      0.8,
+		Layout:           texture.LayoutMorton,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(testSpec())
+	b := Generate(testSpec())
+	if len(a.Mesh.Vertices) != len(b.Mesh.Vertices) {
+		t.Fatal("vertex counts differ across identical generations")
+	}
+	for i := range a.Mesh.Vertices {
+		if a.Mesh.Vertices[i] != b.Mesh.Vertices[i] {
+			t.Fatalf("vertex %d differs", i)
+		}
+	}
+	for i := range a.Cameras {
+		if a.Cameras[i] != b.Cameras[i] {
+			t.Fatalf("camera %d differs", i)
+		}
+	}
+	for ti := range a.Textures {
+		for pi := range a.Textures[ti].Levels[0].Pix {
+			if a.Textures[ti].Levels[0].Pix[pi] != b.Textures[ti].Levels[0].Pix[pi] {
+				t.Fatalf("texture %d texel %d differs", ti, pi)
+			}
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	s := Generate(testSpec())
+	if len(s.Textures) != 3 {
+		t.Errorf("textures %d want 3", len(s.Textures))
+	}
+	if len(s.TextureSpecs) != 3 {
+		t.Errorf("texture specs %d want 3", len(s.TextureSpecs))
+	}
+	if len(s.Cameras) != 4 {
+		t.Errorf("cameras %d want 4", len(s.Cameras))
+	}
+	// 4 segments x 4 quads x 2 tris + 10 props x 6 faces x 2 tris.
+	want := 4*4*2 + 10*6*2
+	if s.NumTriangles() != want {
+		t.Errorf("triangles %d want %d", s.NumTriangles(), want)
+	}
+	for i, tri := range s.Mesh.Triangles {
+		if tri.TexID < 0 || tri.TexID >= len(s.Textures) {
+			t.Fatalf("triangle %d references texture %d", i, tri.TexID)
+		}
+		for _, v := range tri.V {
+			if v < 0 || v >= len(s.Mesh.Vertices) {
+				t.Fatalf("triangle %d references vertex %d", i, v)
+			}
+		}
+	}
+	if s.TextureBytes() <= 0 {
+		t.Error("no texture storage")
+	}
+}
+
+func TestSeedsProduceDifferentWorlds(t *testing.T) {
+	spec := testSpec()
+	a := Generate(spec)
+	spec.Seed = 43
+	b := Generate(spec)
+	same := true
+	for i := range a.Mesh.Vertices {
+		if a.Mesh.Vertices[i] != b.Mesh.Vertices[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds generated identical geometry")
+	}
+}
+
+func TestAssignTextureAddresses(t *testing.T) {
+	s := Generate(testSpec())
+	end := s.AssignTextureAddresses(0x1000)
+	var prev uint64
+	for i, tx := range s.Textures {
+		addr := tx.Levels[0].Addr
+		if addr < 0x1000 {
+			t.Fatalf("texture %d below base", i)
+		}
+		if i > 0 && addr <= prev {
+			t.Fatalf("texture %d overlaps predecessor", i)
+		}
+		prev = addr
+	}
+	if end <= prev {
+		t.Fatal("end address not past last texture")
+	}
+}
+
+func TestBuilderQuadNormals(t *testing.T) {
+	var b Builder
+	// A floor quad wound counter-clockwise seen from above must get a +Y
+	// normal.
+	b.AddQuad(
+		vmath.Vec3{X: 0, Y: 0, Z: 0}, vmath.Vec3{X: 1, Y: 0, Z: 0},
+		vmath.Vec3{X: 1, Y: 0, Z: -1}, vmath.Vec3{X: 0, Y: 0, Z: -1},
+		0, 1, vmath.Vec4{W: 1})
+	m := b.Mesh()
+	if len(m.Vertices) != 4 || len(m.Triangles) != 2 {
+		t.Fatalf("quad built %d vertices %d triangles", len(m.Vertices), len(m.Triangles))
+	}
+	n := m.Vertices[0].Normal
+	if n.Y < 0.99 {
+		t.Fatalf("floor normal %v, want +Y", n)
+	}
+}
+
+func TestBuilderBoxFaceCount(t *testing.T) {
+	var b Builder
+	b.AddBox(vmath.Vec3{}, vmath.Vec3{X: 1, Y: 1, Z: 1}, 0, 1, vmath.Vec4{W: 1})
+	if got := len(b.Mesh().Triangles); got != 12 {
+		t.Fatalf("box has %d triangles, want 12", got)
+	}
+}
+
+func TestCameraViewProj(t *testing.T) {
+	s := Generate(testSpec())
+	cam := s.Cameras[0]
+	vp := cam.ViewProj(4.0 / 3.0)
+	// The look-at center must project inside the frustum.
+	p := vp.MulVec(vmath.Vec4{X: cam.Center.X, Y: cam.Center.Y, Z: cam.Center.Z, W: 1})
+	if p.W <= 0 {
+		t.Fatalf("look-at center behind camera (w=%g)", p.W)
+	}
+	ndcX := p.X / p.W
+	ndcY := p.Y / p.W
+	if ndcX < -1 || ndcX > 1 || ndcY < -1 || ndcY > 1 {
+		t.Fatalf("look-at center outside frustum: ndc (%g, %g)", ndcX, ndcY)
+	}
+}

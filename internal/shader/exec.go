@@ -1,0 +1,189 @@
+package shader
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is the SIMD4 register value.
+type Vec = [4]float32
+
+// TexSampleFunc is invoked by the TEX instruction: coords carries (u, v)
+// in .xy; the returned Vec is the filtered RGBA texture result. The GPU
+// model wires this to the active texture path.
+type TexSampleFunc func(sampler uint8, coords Vec) Vec
+
+// Machine executes shader programs. One Machine is reused across many
+// invocations; it is not safe for concurrent use.
+type Machine struct {
+	temps   [16]Vec
+	inputs  [8]Vec
+	outputs [4]Vec
+	// TexSample handles TEX instructions; nil makes TEX return zero.
+	TexSample TexSampleFunc
+	// InstrCount accumulates executed instructions across invocations.
+	InstrCount uint64
+	// CycleCount accumulates issue cycles across invocations.
+	CycleCount uint64
+	// TexCount accumulates executed TEX instructions.
+	TexCount uint64
+}
+
+// SetInput loads input attribute register v[i].
+func (m *Machine) SetInput(i int, v Vec) { m.inputs[i] = v }
+
+// Output returns output register o[i] after Run.
+func (m *Machine) Output(i int) Vec { return m.outputs[i] }
+
+// Run executes the program to completion and returns the output bank.
+// Input registers persist from SetInput calls; temporaries are zeroed.
+func (m *Machine) Run(p *Program) error {
+	for i := range m.temps {
+		m.temps[i] = Vec{}
+	}
+	for i := range m.outputs {
+		m.outputs[i] = Vec{}
+	}
+	for pc := 0; pc < len(p.Code); pc++ {
+		in := &p.Code[pc]
+		m.InstrCount++
+		m.CycleCount += uint64(in.Op.Cycles())
+		if in.Op == OpEND {
+			return nil
+		}
+		if in.Op == OpTEX {
+			m.TexCount++
+			coord := m.read(p, in.Src[0])
+			var res Vec
+			if m.TexSample != nil {
+				res = m.TexSample(in.Sampler, coord)
+			}
+			m.write(in.Dst, res)
+			continue
+		}
+		a := m.read(p, in.Src[0])
+		var b, c Vec
+		if in.NumSrc > 1 {
+			b = m.read(p, in.Src[1])
+		}
+		if in.NumSrc > 2 {
+			c = m.read(p, in.Src[2])
+		}
+		var r Vec
+		switch in.Op {
+		case OpMOV:
+			r = a
+		case OpADD:
+			for i := 0; i < 4; i++ {
+				r[i] = a[i] + b[i]
+			}
+		case OpSUB:
+			for i := 0; i < 4; i++ {
+				r[i] = a[i] - b[i]
+			}
+		case OpMUL:
+			for i := 0; i < 4; i++ {
+				r[i] = a[i] * b[i]
+			}
+		case OpMAD:
+			for i := 0; i < 4; i++ {
+				r[i] = a[i]*b[i] + c[i]
+			}
+		case OpDP3:
+			d := a[0]*b[0] + a[1]*b[1] + a[2]*b[2]
+			r = Vec{d, d, d, d}
+		case OpDP4:
+			d := a[0]*b[0] + a[1]*b[1] + a[2]*b[2] + a[3]*b[3]
+			r = Vec{d, d, d, d}
+		case OpRCP:
+			d := float32(1)
+			if a[0] != 0 {
+				d = 1 / a[0]
+			} else {
+				d = float32(math.Inf(1))
+			}
+			r = Vec{d, d, d, d}
+		case OpRSQ:
+			d := float32(math.Inf(1))
+			if v := math.Abs(float64(a[0])); v > 0 {
+				d = float32(1 / math.Sqrt(v))
+			}
+			r = Vec{d, d, d, d}
+		case OpMIN:
+			for i := 0; i < 4; i++ {
+				r[i] = minf(a[i], b[i])
+			}
+		case OpMAX:
+			for i := 0; i < 4; i++ {
+				r[i] = maxf(a[i], b[i])
+			}
+		case OpFRC:
+			for i := 0; i < 4; i++ {
+				r[i] = a[i] - float32(math.Floor(float64(a[i])))
+			}
+		case OpSLT:
+			for i := 0; i < 4; i++ {
+				if a[i] < b[i] {
+					r[i] = 1
+				}
+			}
+		case OpSGE:
+			for i := 0; i < 4; i++ {
+				if a[i] >= b[i] {
+					r[i] = 1
+				}
+			}
+		case OpLRP:
+			for i := 0; i < 4; i++ {
+				r[i] = a[i]*b[i] + (1-a[i])*c[i]
+			}
+		default:
+			return fmt.Errorf("shader %s: unimplemented opcode %s", p.Name, in.Op)
+		}
+		m.write(in.Dst, r)
+	}
+	return nil
+}
+
+func (m *Machine) read(p *Program, o Operand) Vec {
+	var v Vec
+	switch o.File {
+	case FileTemp:
+		v = m.temps[o.Index]
+	case FileInput:
+		v = m.inputs[o.Index]
+	case FileConst:
+		v = p.Consts[o.Index]
+	case FileOutput:
+		v = m.outputs[o.Index]
+	}
+	if o.Negate {
+		for i := 0; i < 4; i++ {
+			v[i] = -v[i]
+		}
+	}
+	return v
+}
+
+func (m *Machine) write(o Operand, v Vec) {
+	switch o.File {
+	case FileTemp:
+		m.temps[o.Index] = v
+	case FileOutput:
+		m.outputs[o.Index] = v
+	}
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,329 @@
+// Package shader implements the unified-shader model of the baseline GPU
+// (Fig. 1): a small SIMD4 register ISA in the spirit of ARB-era vertex and
+// fragment programs, with an assembler, an interpreter, and per-instruction
+// cycle costs used by the timing model. Both vertex and fragment programs
+// run on the same unified shaders, matching the paper's unified-shader (US)
+// architecture.
+package shader
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Opcode enumerates the instruction set.
+type Opcode uint8
+
+const (
+	// OpMOV copies a source to a destination.
+	OpMOV Opcode = iota
+	// OpADD computes dst = a + b.
+	OpADD
+	// OpSUB computes dst = a - b.
+	OpSUB
+	// OpMUL computes dst = a * b (component-wise).
+	OpMUL
+	// OpMAD computes dst = a*b + c.
+	OpMAD
+	// OpDP3 computes the 3-component dot product into all lanes.
+	OpDP3
+	// OpDP4 computes the 4-component dot product into all lanes.
+	OpDP4
+	// OpRCP computes dst = 1/a.x broadcast.
+	OpRCP
+	// OpRSQ computes dst = 1/sqrt(|a.x|) broadcast.
+	OpRSQ
+	// OpMIN computes the component-wise minimum.
+	OpMIN
+	// OpMAX computes the component-wise maximum.
+	OpMAX
+	// OpFRC computes the fractional part of each component.
+	OpFRC
+	// OpSLT sets 1.0 where a < b else 0.0.
+	OpSLT
+	// OpSGE sets 1.0 where a >= b else 0.0.
+	OpSGE
+	// OpLRP computes dst = a*b + (1-a)*c (linear interpolation).
+	OpLRP
+	// OpTEX samples the bound texture at coordinates a.xy; it is the
+	// instruction that triggers the whole texture-filtering pipeline.
+	OpTEX
+	// OpEND terminates the program.
+	OpEND
+	numOpcodes
+)
+
+var opNames = [numOpcodes]string{
+	"MOV", "ADD", "SUB", "MUL", "MAD", "DP3", "DP4", "RCP", "RSQ",
+	"MIN", "MAX", "FRC", "SLT", "SGE", "LRP", "TEX", "END",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Cycles returns the issue cost of the opcode on a simd4-scalar ALU
+// (Table I's "simd4-scale ALUs"): most ops are single-issue; the
+// transcendentals take longer; TEX costs are accounted by the texture unit.
+func (o Opcode) Cycles() int {
+	switch o {
+	case OpRCP, OpRSQ:
+		return 4
+	case OpTEX:
+		return 1 // issue only; latency modeled by the texture unit
+	default:
+		return 1
+	}
+}
+
+// RegFile identifies a register bank.
+type RegFile uint8
+
+const (
+	// FileTemp is the read/write temporary bank (r0..r15).
+	FileTemp RegFile = iota
+	// FileInput is the per-element input attribute bank (v0..v7).
+	FileInput
+	// FileConst is the program constant bank (c0..c31).
+	FileConst
+	// FileOutput is the result bank (o0..o3).
+	FileOutput
+)
+
+// Operand names one register with an optional negate modifier.
+type Operand struct {
+	File   RegFile
+	Index  uint8
+	Negate bool
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op      Opcode
+	Dst     Operand
+	Src     [3]Operand
+	NumSrc  uint8
+	Sampler uint8 // texture sampler index for TEX
+}
+
+// Program is an assembled shader program.
+type Program struct {
+	// Name labels the program in statistics.
+	Name string
+	// Code is the instruction stream.
+	Code []Instr
+	// Consts is the constant bank contents.
+	Consts [32][4]float32
+}
+
+// NumInstr returns the instruction count excluding END.
+func (p *Program) NumInstr() int {
+	n := 0
+	for _, in := range p.Code {
+		if in.Op != OpEND {
+			n++
+		}
+	}
+	return n
+}
+
+// CycleCost returns the summed issue cost of one invocation.
+func (p *Program) CycleCost() int {
+	c := 0
+	for _, in := range p.Code {
+		c += in.Op.Cycles()
+	}
+	return c
+}
+
+// Assemble parses a textual program: one instruction per line,
+// "OP dst, src0, src1, src2" with registers rN/vN/cN/oN, optional '-'
+// negation on sources, '#' comments, and "TEX dst, src, tN" for texturing.
+func Assemble(name, src string) (*Program, error) {
+	p := &Program{Name: name}
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in, err := assembleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineNo+1, err)
+		}
+		p.Code = append(p.Code, in)
+	}
+	if len(p.Code) == 0 || p.Code[len(p.Code)-1].Op != OpEND {
+		p.Code = append(p.Code, Instr{Op: OpEND})
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error (for built-in programs).
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func assembleLine(line string) (Instr, error) {
+	fields := strings.Fields(line)
+	mnemonic := strings.ToUpper(fields[0])
+	var op Opcode = numOpcodes
+	for i, n := range opNames {
+		if n == mnemonic {
+			op = Opcode(i)
+			break
+		}
+	}
+	if op == numOpcodes {
+		return Instr{}, fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	in := Instr{Op: op}
+	if op == OpEND {
+		return in, nil
+	}
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	if len(parts) == 0 || parts[0] == "" {
+		return Instr{}, fmt.Errorf("missing operands")
+	}
+	dst, err := parseOperand(parts[0])
+	if err != nil {
+		return Instr{}, err
+	}
+	if dst.Negate {
+		return Instr{}, fmt.Errorf("destination cannot be negated")
+	}
+	if dst.File == FileConst || dst.File == FileInput {
+		return Instr{}, fmt.Errorf("destination must be a temp or output register")
+	}
+	in.Dst = dst
+
+	wantSrcs := map[Opcode]int{
+		OpMOV: 1, OpADD: 2, OpSUB: 2, OpMUL: 2, OpMAD: 3, OpDP3: 2,
+		OpDP4: 2, OpRCP: 1, OpRSQ: 1, OpMIN: 2, OpMAX: 2, OpFRC: 1,
+		OpSLT: 2, OpSGE: 2, OpLRP: 3, OpTEX: 2,
+	}[op]
+	if len(parts)-1 != wantSrcs {
+		return Instr{}, fmt.Errorf("%s expects %d source operands, got %d", mnemonic, wantSrcs, len(parts)-1)
+	}
+
+	if op == OpTEX {
+		src, err := parseOperand(parts[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Src[0] = src
+		in.NumSrc = 1
+		samp := parts[2]
+		if len(samp) < 2 || (samp[0] != 't' && samp[0] != 'T') {
+			return Instr{}, fmt.Errorf("TEX sampler must be tN, got %q", samp)
+		}
+		var idx int
+		if _, err := fmt.Sscanf(samp[1:], "%d", &idx); err != nil || idx < 0 || idx > 15 {
+			return Instr{}, fmt.Errorf("bad sampler index %q", samp)
+		}
+		in.Sampler = uint8(idx)
+		return in, nil
+	}
+
+	for i := 0; i < wantSrcs; i++ {
+		src, err := parseOperand(parts[i+1])
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Src[i] = src
+	}
+	in.NumSrc = uint8(wantSrcs)
+	return in, nil
+}
+
+func parseOperand(s string) (Operand, error) {
+	var o Operand
+	if s == "" {
+		return o, fmt.Errorf("empty operand")
+	}
+	if s[0] == '-' {
+		o.Negate = true
+		s = s[1:]
+	}
+	if len(s) < 2 {
+		return o, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r', 'R':
+		o.File = FileTemp
+	case 'v', 'V':
+		o.File = FileInput
+	case 'c', 'C':
+		o.File = FileConst
+	case 'o', 'O':
+		o.File = FileOutput
+	default:
+		return o, fmt.Errorf("bad register file in %q", s)
+	}
+	var idx int
+	if _, err := fmt.Sscanf(s[1:], "%d", &idx); err != nil {
+		return o, fmt.Errorf("bad register index in %q", s)
+	}
+	limits := map[RegFile]int{FileTemp: 16, FileInput: 8, FileConst: 32, FileOutput: 4}
+	if idx < 0 || idx >= limits[o.File] {
+		return o, fmt.Errorf("register index out of range in %q", s)
+	}
+	o.Index = uint8(idx)
+	return o, nil
+}
+
+// Disassemble renders the program as assembly text.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for _, in := range p.Code {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders one instruction.
+func (in Instr) String() string {
+	if in.Op == OpEND {
+		return "END"
+	}
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	b.WriteByte(' ')
+	b.WriteString(in.Dst.String())
+	if in.Op == OpTEX {
+		fmt.Fprintf(&b, ", %s, t%d", in.Src[0].String(), in.Sampler)
+		return b.String()
+	}
+	for i := 0; i < int(in.NumSrc); i++ {
+		b.WriteString(", ")
+		b.WriteString(in.Src[i].String())
+	}
+	return b.String()
+}
+
+// String renders one operand.
+func (o Operand) String() string {
+	prefix := ""
+	if o.Negate {
+		prefix = "-"
+	}
+	files := map[RegFile]string{FileTemp: "r", FileInput: "v", FileConst: "c", FileOutput: "o"}
+	return fmt.Sprintf("%s%s%d", prefix, files[o.File], o.Index)
+}

@@ -1,0 +1,277 @@
+package shader
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src string, inputs map[int]Vec) *Machine {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := &Machine{}
+	for i, v := range inputs {
+		m.SetInput(i, v)
+	}
+	if err := m.Run(p); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestMovAddSub(t *testing.T) {
+	m := run(t, `
+MOV r0, v0
+ADD r1, r0, v1
+SUB o0, r1, v0
+`, map[int]Vec{0: {1, 2, 3, 4}, 1: {10, 20, 30, 40}})
+	if m.Output(0) != (Vec{10, 20, 30, 40}) {
+		t.Fatalf("output %v", m.Output(0))
+	}
+}
+
+func TestMulMad(t *testing.T) {
+	m := run(t, `
+MUL r0, v0, v1
+MAD o0, v0, v1, v0
+`, map[int]Vec{0: {2, 3, 0, 1}, 1: {4, 5, 6, 7}})
+	want := Vec{2*4 + 2, 3*5 + 3, 0, 1*7 + 1}
+	if m.Output(0) != want {
+		t.Fatalf("mad %v want %v", m.Output(0), want)
+	}
+}
+
+func TestDotProducts(t *testing.T) {
+	m := run(t, `
+DP3 o0, v0, v1
+DP4 o1, v0, v1
+`, map[int]Vec{0: {1, 2, 3, 4}, 1: {5, 6, 7, 8}})
+	if m.Output(0)[0] != 38 {
+		t.Errorf("dp3 = %g want 38", m.Output(0)[0])
+	}
+	if m.Output(1)[0] != 70 {
+		t.Errorf("dp4 = %g want 70", m.Output(1)[0])
+	}
+}
+
+func TestRcpRsq(t *testing.T) {
+	m := run(t, `
+RCP o0, v0
+RSQ o1, v1
+`, map[int]Vec{0: {4, 0, 0, 0}, 1: {16, 0, 0, 0}})
+	if m.Output(0)[0] != 0.25 {
+		t.Errorf("rcp %g", m.Output(0)[0])
+	}
+	if m.Output(1)[0] != 0.25 {
+		t.Errorf("rsq %g", m.Output(1)[0])
+	}
+}
+
+func TestMinMaxFrc(t *testing.T) {
+	m := run(t, `
+MIN o0, v0, v1
+MAX o1, v0, v1
+FRC o2, v0
+`, map[int]Vec{0: {1.5, -2.25, 3, 0}, 1: {1, 0, 5, -1}})
+	if m.Output(0) != (Vec{1, -2.25, 3, -1}) {
+		t.Errorf("min %v", m.Output(0))
+	}
+	if m.Output(1) != (Vec{1.5, 0, 5, 0}) {
+		t.Errorf("max %v", m.Output(1))
+	}
+	if got := m.Output(2); math.Abs(float64(got[0]-0.5)) > 1e-6 || math.Abs(float64(got[1]-0.75)) > 1e-6 {
+		t.Errorf("frc %v", got)
+	}
+}
+
+func TestSltSgeLrp(t *testing.T) {
+	m := run(t, `
+SLT o0, v0, v1
+SGE o1, v0, v1
+LRP o2, v2, v0, v1
+`, map[int]Vec{0: {1, 5, 3, 3}, 1: {2, 2, 3, 4}, 2: {0.5, 0.5, 0.5, 0.5}})
+	if m.Output(0) != (Vec{1, 0, 0, 1}) {
+		t.Errorf("slt %v", m.Output(0))
+	}
+	if m.Output(1) != (Vec{0, 1, 1, 0}) {
+		t.Errorf("sge %v", m.Output(1))
+	}
+	if m.Output(2) != (Vec{1.5, 3.5, 3, 3.5}) {
+		t.Errorf("lrp %v", m.Output(2))
+	}
+}
+
+func TestNegationModifier(t *testing.T) {
+	m := run(t, "ADD o0, v0, -v1", map[int]Vec{0: {5, 5, 5, 5}, 1: {2, 3, 4, 5}})
+	if m.Output(0) != (Vec{3, 2, 1, 0}) {
+		t.Fatalf("negation %v", m.Output(0))
+	}
+}
+
+func TestTexCallback(t *testing.T) {
+	m := &Machine{TexSample: func(sampler uint8, coords Vec) Vec {
+		return Vec{coords[0] * 2, coords[1] * 2, float32(sampler), 1}
+	}}
+	p := MustAssemble("t", "TEX o0, v0, t3")
+	m.SetInput(0, Vec{0.25, 0.5, 0, 0})
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output(0) != (Vec{0.5, 1, 3, 1}) {
+		t.Fatalf("tex %v", m.Output(0))
+	}
+	if m.TexCount != 1 {
+		t.Errorf("tex count %d", m.TexCount)
+	}
+}
+
+func TestTexWithoutCallbackReturnsZero(t *testing.T) {
+	m := run(t, "TEX o0, v0, t0", map[int]Vec{0: {1, 1, 0, 0}})
+	if m.Output(0) != (Vec{}) {
+		t.Fatal("TEX without callback should return zero")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	p := MustAssemble("t", "MUL o0, v0, c5")
+	p.Consts[5] = Vec{2, 2, 2, 2}
+	m := &Machine{}
+	m.SetInput(0, Vec{3, 4, 5, 6})
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output(0) != (Vec{6, 8, 10, 12}) {
+		t.Fatalf("const mul %v", m.Output(0))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"FOO r0, r1",      // unknown opcode
+		"ADD r0, r1",      // missing source
+		"ADD c0, r1, r2",  // constant destination
+		"ADD v0, r1, r2",  // input destination
+		"ADD -r0, r1, r2", // negated destination
+		"MOV r0, r99",     // register out of range
+		"TEX r0, v0, x3",  // bad sampler
+		"TEX r0, v0, t99", // sampler out of range
+		"MOV r0, q1",      // bad file
+	}
+	for _, src := range bad {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("%q assembled but should not", src)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble("t", `
+# comment only
+
+MOV o0, v0   # trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstr() != 1 {
+		t.Fatalf("instr count %d want 1", p.NumInstr())
+	}
+}
+
+func TestImplicitEnd(t *testing.T) {
+	p := MustAssemble("t", "MOV o0, v0")
+	if p.Code[len(p.Code)-1].Op != OpEND {
+		t.Fatal("missing implicit END")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `MOV r0, v0
+ADD r1, r0, -c3
+TEX r2, r1, t1
+DP4 o0, r2, c0
+END`
+	p1 := MustAssemble("t", src)
+	p2 := MustAssemble("t2", p1.Disassemble())
+	if len(p1.Code) != len(p2.Code) {
+		t.Fatalf("round trip changed length %d -> %d", len(p1.Code), len(p2.Code))
+	}
+	for i := range p1.Code {
+		if p1.Code[i] != p2.Code[i] {
+			t.Fatalf("instruction %d changed: %v -> %v", i, p1.Code[i], p2.Code[i])
+		}
+	}
+}
+
+func TestCycleCost(t *testing.T) {
+	p := MustAssemble("t", "RCP r0, v0\nMOV o0, r0")
+	// RCP 4 + MOV 1 + END 1.
+	if p.CycleCost() != 6 {
+		t.Fatalf("cycle cost %d want 6", p.CycleCost())
+	}
+}
+
+func TestVertexProgramTransforms(t *testing.T) {
+	p := NewVertexProgram()
+	// Identity MVP.
+	SetMVP(p, [4]Vec{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}})
+	m := &Machine{}
+	m.SetInput(0, Vec{2, 3, 4, 1})
+	m.SetInput(1, Vec{0.5, 0.25, 0, 0})
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output(0) != (Vec{2, 3, 4, 1}) {
+		t.Fatalf("identity transform %v", m.Output(0))
+	}
+	if m.Output(1) != (Vec{0.5, 0.25, 0, 0}) {
+		t.Fatalf("uv passthrough %v", m.Output(1))
+	}
+}
+
+func TestFragmentProgramSamplesThreeLayers(t *testing.T) {
+	p := NewFragmentProgram(Vec{0, 0, 1, 0}, 0.3)
+	samplers := map[uint8]int{}
+	m := &Machine{TexSample: func(s uint8, _ Vec) Vec {
+		samplers[s]++
+		return Vec{1, 1, 1, 1}
+	}}
+	m.SetInput(0, Vec{0.5, 0.5, 0, 0})
+	m.SetInput(1, Vec{1, 1, 1, 1})
+	m.SetInput(2, Vec{0, 0, 1, 0})
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(samplers) != 3 || samplers[0] != 1 || samplers[1] != 1 || samplers[2] != 1 {
+		t.Fatalf("sampler usage %v, want one TEX on t0, t1, t2", samplers)
+	}
+	out := m.Output(0)
+	// Full diffuse (N.L=1) + 0.3 ambient clamps to 1; detail/light layers
+	// at (0.5 + 0.5*1) = 1: output = 1.
+	if math.Abs(float64(out[0]-1)) > 1e-5 {
+		t.Fatalf("lit output %v", out)
+	}
+}
+
+func TestUnlitProgram(t *testing.T) {
+	p := NewUnlitFragmentProgram()
+	if !strings.Contains(p.Disassemble(), "TEX") {
+		t.Fatal("unlit program lost its TEX")
+	}
+}
+
+func TestInstrCounting(t *testing.T) {
+	p := MustAssemble("t", "MOV r0, v0\nMOV o0, r0")
+	m := &Machine{}
+	for i := 0; i < 3; i++ {
+		if err := m.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.InstrCount != 9 { // (2 + END) * 3
+		t.Fatalf("instr count %d want 9", m.InstrCount)
+	}
+}

@@ -1,0 +1,130 @@
+// Package sim provides small timing-model building blocks shared by the
+// memory backends: a windowed bandwidth meter with backfill (the core
+// scheduling primitive) and helpers for cycle conversion.
+//
+// Why backfill: the simulator generates memory events in pipeline program
+// order, which is not globally time-ordered — a lagging shader cluster can
+// issue a packet time-stamped earlier than packets already scheduled. A
+// monotonic "busy-until" horizon would make such a packet queue behind
+// logically *later* traffic (false head-of-line blocking). The meter
+// instead accounts capacity in fixed windows of time, so a late-arriving
+// event can use capacity that was genuinely idle at its own timestamp.
+package sim
+
+// BandwidthMeter models a resource with a fixed byte-per-cycle capacity.
+// Time is divided into windows; each window holds Window*BytesPerCycle
+// bytes. Reserve places a transfer at the earliest window(s) with free
+// capacity at or after its start time and returns its completion cycle.
+type BandwidthMeter struct {
+	// Window is the accounting window in cycles.
+	Window int64
+	// BytesPerCycle is the capacity.
+	BytesPerCycle float64
+
+	used []float64
+	// next implements union-find path compression over full windows: when
+	// window i is full, next[i] points to a candidate later window.
+	next []int32
+	// totalBytes accumulates all reserved bytes (statistics).
+	totalBytes uint64
+}
+
+// NewBandwidthMeter builds a meter; window must be positive.
+func NewBandwidthMeter(window int64, bytesPerCycle float64) *BandwidthMeter {
+	if window <= 0 {
+		panic("sim: non-positive meter window")
+	}
+	if bytesPerCycle <= 0 {
+		panic("sim: non-positive meter capacity")
+	}
+	return &BandwidthMeter{Window: window, BytesPerCycle: bytesPerCycle}
+}
+
+// TotalBytes returns all bytes reserved since the last Reset.
+func (m *BandwidthMeter) TotalBytes() uint64 { return m.totalBytes }
+
+// Reset clears all reservations.
+func (m *BandwidthMeter) Reset() {
+	m.used = m.used[:0]
+	m.next = m.next[:0]
+	m.totalBytes = 0
+}
+
+func (m *BandwidthMeter) grow(idx int) {
+	for len(m.used) <= idx {
+		m.used = append(m.used, 0)
+		m.next = append(m.next, int32(len(m.next)+1))
+	}
+}
+
+// find returns the first window >= i with free capacity, compressing paths.
+func (m *BandwidthMeter) find(i int) int {
+	capPerWin := m.BytesPerCycle * float64(m.Window)
+	m.grow(i)
+	root := i
+	for m.used[root] >= capPerWin {
+		n := int(m.next[root])
+		m.grow(n)
+		root = n
+	}
+	// Path compression.
+	for i != root && m.used[i] >= capPerWin {
+		n := int(m.next[i])
+		m.next[i] = int32(root)
+		i = n
+	}
+	return root
+}
+
+// Reserve schedules a transfer of `bytes` starting no earlier than cycle t
+// and returns the cycle its last byte moves. Zero-byte reservations return
+// t unchanged.
+func (m *BandwidthMeter) Reserve(t int64, bytes int) int64 {
+	if bytes <= 0 {
+		return t
+	}
+	if t < 0 {
+		t = 0
+	}
+	m.totalBytes += uint64(bytes)
+	capPerWin := m.BytesPerCycle * float64(m.Window)
+	remaining := float64(bytes)
+	i := m.find(int(t / m.Window))
+	lastWin := i
+	for remaining > 0 {
+		i = m.find(i)
+		free := capPerWin - m.used[i]
+		take := free
+		if remaining < take {
+			take = remaining
+		}
+		m.used[i] += take
+		remaining -= take
+		lastWin = i
+		if m.used[i] >= capPerWin {
+			m.next[i] = int32(i + 1)
+		}
+	}
+	// Completion: position within the last window proportional to fill.
+	frac := m.used[lastWin] / capPerWin
+	done := int64(lastWin)*m.Window + int64(frac*float64(m.Window))
+	// A transfer cannot finish before its own serialization time.
+	minDone := t + int64(float64(bytes)/m.BytesPerCycle)
+	if done < minDone {
+		done = minDone
+	}
+	return done
+}
+
+// Utilization returns used/capacity over the busy span (diagnostics).
+func (m *BandwidthMeter) Utilization() float64 {
+	if len(m.used) == 0 {
+		return 0
+	}
+	capPerWin := m.BytesPerCycle * float64(m.Window)
+	var used float64
+	for _, u := range m.used {
+		used += u
+	}
+	return used / (capPerWin * float64(len(m.used)))
+}

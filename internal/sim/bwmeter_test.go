@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReserveSerialization(t *testing.T) {
+	m := NewBandwidthMeter(32, 10) // 10 B/cy
+	done := m.Reserve(0, 100)
+	if done < 10 {
+		t.Fatalf("100B at 10B/cy finished at %d, want >= 10", done)
+	}
+}
+
+func TestReserveEnforcesCapacity(t *testing.T) {
+	m := NewBandwidthMeter(32, 8)
+	var last int64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		done := m.Reserve(0, 64) // all arrive at t=0
+		if done > last {
+			last = done
+		}
+	}
+	// 64000 bytes at 8 B/cy = 8000 cycles minimum.
+	if last < 7800 {
+		t.Fatalf("capacity not enforced: %d bytes drained by cycle %d", n*64, last)
+	}
+	if last > 8800 {
+		t.Fatalf("meter too pessimistic: done at %d want ~8000", last)
+	}
+}
+
+func TestBackfillUsesIdlePast(t *testing.T) {
+	m := NewBandwidthMeter(32, 8)
+	// A transfer far in the future.
+	m.Reserve(10000, 64)
+	// A late-arriving transfer with an early timestamp must NOT queue
+	// behind it: the past was idle.
+	done := m.Reserve(100, 64)
+	if done > 200 {
+		t.Fatalf("late-arriving early transfer queued behind future one: done=%d", done)
+	}
+}
+
+func TestZeroBytes(t *testing.T) {
+	m := NewBandwidthMeter(32, 8)
+	if m.Reserve(42, 0) != 42 {
+		t.Fatal("zero-byte reservation should return arrival time")
+	}
+}
+
+func TestTotalBytesAndReset(t *testing.T) {
+	m := NewBandwidthMeter(32, 8)
+	m.Reserve(0, 100)
+	m.Reserve(50, 28)
+	if m.TotalBytes() != 128 {
+		t.Fatalf("TotalBytes=%d want 128", m.TotalBytes())
+	}
+	m.Reset()
+	if m.TotalBytes() != 0 {
+		t.Fatal("reset did not clear totals")
+	}
+	if done := m.Reserve(0, 64); done > 40 {
+		t.Fatalf("capacity not restored after reset: %d", done)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := NewBandwidthMeter(10, 10) // 100 B per window
+	m.Reserve(0, 100)
+	if u := m.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization %g want ~1", u)
+	}
+}
+
+func TestMonotoneDoneForOrderedArrivals(t *testing.T) {
+	// Property: with non-decreasing arrivals of equal-size transfers,
+	// completion times never decrease and never precede arrival+ser.
+	err := quick.Check(func(gaps []uint8) bool {
+		m := NewBandwidthMeter(16, 4)
+		var tm, lastDone int64
+		for _, g := range gaps {
+			tm += int64(g % 16)
+			done := m.Reserve(tm, 16)
+			if done < tm+4 { // 16B at 4 B/cy
+				return false
+			}
+			if done < lastDone {
+				return false
+			}
+			lastDone = done
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBandwidthMeter(0, 1) },
+		func() { NewBandwidthMeter(8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

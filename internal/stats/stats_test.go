@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterSet(t *testing.T) {
+	var s Set
+	s.Counter("reads").Add(5)
+	s.Counter("writes").Inc()
+	s.Counter("reads").Inc()
+	if s.Get("reads") != 6 || s.Get("writes") != 1 {
+		t.Fatalf("counts wrong: %v", s.String())
+	}
+	if s.Get("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "reads" || names[1] != "writes" {
+		t.Fatalf("creation order lost: %v", names)
+	}
+}
+
+func TestSetMergeAndReset(t *testing.T) {
+	var a, b Set
+	a.Counter("x").Add(2)
+	b.Counter("x").Add(3)
+	b.Counter("y").Add(7)
+	a.Merge(&b)
+	if a.Get("x") != 5 || a.Get("y") != 7 {
+		t.Fatalf("merge wrong: %s", a.String())
+	}
+	a.Reset()
+	if a.Get("x") != 0 || a.Get("y") != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 6} {
+		s.Observe(v)
+	}
+	if s.Mean() != 4 {
+		t.Errorf("mean %g want 4", s.Mean())
+	}
+	if s.MinV != 2 || s.MaxV != 6 {
+		t.Errorf("min/max %g/%g", s.MinV, s.MaxV)
+	}
+	want := math.Sqrt(8.0 / 3.0)
+	if math.Abs(s.StdDev()-want) > 1e-9 {
+		t.Errorf("stddev %g want %g", s.StdDev(), want)
+	}
+	var empty Summary
+	if empty.Mean() != 0 || empty.StdDev() != 0 {
+		t.Error("empty summary should read 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean(1,4)=%g want 2", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Errorf("geomean of non-positive should be 0, got %g", g)
+	}
+	// Non-positive entries are skipped.
+	if g := GeoMean([]float64{0, 8, 2}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean skipping zeros = %g, want 4", g)
+	}
+}
+
+func TestMeanMaxMin(t *testing.T) {
+	v := []float64{3, 1, 2}
+	if Mean(v) != 2 || Max(v) != 3 || Min(v) != 1 {
+		t.Fatal("aggregate helpers broken")
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowF("beta", 2.5)
+	out := tab.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "beta", "2.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows=%d want 2", tab.NumRows())
+	}
+}
+
+func TestTableCellOverflowTruncated(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("1", "2", "3", "4") // extra cells dropped
+	if !strings.Contains(tab.String(), "1") || strings.Contains(tab.String(), "3") {
+		t.Errorf("overflow cells not truncated:\n%s", tab.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "x", "y")
+	tab.AddRow("1", "2")
+	csv := tab.CSV()
+	if csv != "x,y\n1,2\n" {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestFmt(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		1.2345: "1.234",
+		123.45: "123.5",
+	}
+	for in, want := range cases {
+		if got := Fmt(in); got != want {
+			t.Errorf("Fmt(%g)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("sorted keys wrong: %v", keys)
+	}
+}

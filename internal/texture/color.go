@@ -1,0 +1,75 @@
+// Package texture implements the texture subsystem: texture images with
+// mipmap chains, texel address layouts (linear and Morton-tiled), procedural
+// texture synthesis for the workloads, and the three-stage filtering
+// pipeline of the paper — bilinear, trilinear and anisotropic — in both the
+// conventional order (Fig. 3) and the reordered anisotropic-first form used
+// by A-TFIM (Fig. 7(B), Eq. 2–3).
+package texture
+
+// Color is a four-component RGBA color in filtering (float) space.
+// Components are nominally in [0, 1].
+type Color struct {
+	R, G, B, A float32
+}
+
+// Add returns c+o component-wise.
+func (c Color) Add(o Color) Color {
+	return Color{c.R + o.R, c.G + o.G, c.B + o.B, c.A + o.A}
+}
+
+// Scale returns c*s component-wise.
+func (c Color) Scale(s float32) Color {
+	return Color{c.R * s, c.G * s, c.B * s, c.A * s}
+}
+
+// Mul returns the component-wise product c*o (modulate blending).
+func (c Color) Mul(o Color) Color {
+	return Color{c.R * o.R, c.G * o.G, c.B * o.B, c.A * o.A}
+}
+
+// LerpColor returns a + t*(b-a).
+func LerpColor(a, b Color, t float32) Color {
+	return Color{
+		a.R + t*(b.R-a.R),
+		a.G + t*(b.G-a.G),
+		a.B + t*(b.B-a.B),
+		a.A + t*(b.A-a.A),
+	}
+}
+
+// Pack packs a Color into an RGBA8 word (R in the low byte). Components are
+// clamped to [0, 1].
+func Pack(c Color) uint32 {
+	return uint32(clampByte(c.R)) |
+		uint32(clampByte(c.G))<<8 |
+		uint32(clampByte(c.B))<<16 |
+		uint32(clampByte(c.A))<<24
+}
+
+// Unpack expands an RGBA8 word into a Color.
+func Unpack(v uint32) Color {
+	const inv = 1.0 / 255.0
+	return Color{
+		R: float32(v&0xff) * inv,
+		G: float32((v>>8)&0xff) * inv,
+		B: float32((v>>16)&0xff) * inv,
+		A: float32((v>>24)&0xff) * inv,
+	}
+}
+
+func clampByte(v float32) uint8 {
+	x := v*255 + 0.5
+	if x <= 0 {
+		return 0
+	}
+	if x >= 255 {
+		return 255
+	}
+	return uint8(x)
+}
+
+// Gray returns an opaque gray color of the given intensity.
+func Gray(v float32) Color { return Color{v, v, v, 1} }
+
+// RGB returns an opaque color.
+func RGB(r, g, b float32) Color { return Color{r, g, b, 1} }

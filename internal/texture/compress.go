@@ -1,0 +1,172 @@
+package texture
+
+// Fixed-rate lossy block compression in the style the paper's Section VIII
+// surveys (S3TC/iPackman/ASTC): 4x4 texel blocks stored as two RGB565
+// endpoints plus 16 2-bit palette indices — 8 bytes per block, a fixed 8:1
+// ratio against RGBA8. The paper calls texture compression orthogonal to
+// A-TFIM; the ablation benches quantify how the two compose.
+
+// blockBytes is the compressed size of one 4x4 block.
+const blockBytes = 8
+
+// compressedLevel holds one mip level's compressed blocks.
+type compressedLevel struct {
+	blocksX, blocksY int
+	blocks           []uint64
+}
+
+// Compress converts the texture to fixed-rate compressed storage. Texel
+// reads transparently decode (lossy); addresses and sizes reflect the
+// compressed footprint. Compressing an already-compressed texture is a
+// no-op.
+func (t *Texture) Compress() {
+	if t.Compressed {
+		return
+	}
+	t.compressed = make([]compressedLevel, len(t.Levels))
+	for lv := range t.Levels {
+		t.compressed[lv] = t.compressLevel(lv)
+	}
+	t.Compressed = true
+}
+
+func (t *Texture) compressLevel(lv int) compressedLevel {
+	l := &t.Levels[lv]
+	bx := (l.W + 3) / 4
+	by := (l.H + 3) / 4
+	cl := compressedLevel{blocksX: bx, blocksY: by, blocks: make([]uint64, bx*by)}
+	var texels [16]Color
+	for byi := 0; byi < by; byi++ {
+		for bxi := 0; bxi < bx; bxi++ {
+			for i := 0; i < 16; i++ {
+				x := bxi*4 + i%4
+				y := byi*4 + i/4
+				if x >= l.W {
+					x = l.W - 1
+				}
+				if y >= l.H {
+					y = l.H - 1
+				}
+				texels[i] = Unpack(l.Pix[texelIndex(t.Layout, l.W, l.H, x, y)])
+			}
+			cl.blocks[byi*bx+bxi] = encodeBlock(&texels)
+		}
+	}
+	return cl
+}
+
+// luma returns the perceptual brightness used for endpoint selection.
+func luma(c Color) float32 {
+	return 0.299*c.R + 0.587*c.G + 0.114*c.B
+}
+
+// encodeBlock picks the brightest and darkest texels as endpoints,
+// quantizes them to RGB565, and maps every texel to the nearest of the
+// four palette entries.
+func encodeBlock(texels *[16]Color) uint64 {
+	lo, hi := 0, 0
+	for i := 1; i < 16; i++ {
+		if luma(texels[i]) < luma(texels[lo]) {
+			lo = i
+		}
+		if luma(texels[i]) > luma(texels[hi]) {
+			hi = i
+		}
+	}
+	e0 := pack565(texels[hi])
+	e1 := pack565(texels[lo])
+	palette := buildPalette(e0, e1)
+
+	var indices uint32
+	for i := 0; i < 16; i++ {
+		best, bestD := 0, distSq(texels[i], palette[0])
+		for p := 1; p < 4; p++ {
+			if d := distSq(texels[i], palette[p]); d < bestD {
+				best, bestD = p, d
+			}
+		}
+		indices |= uint32(best) << (2 * i)
+	}
+	return uint64(e0) | uint64(e1)<<16 | uint64(indices)<<32
+}
+
+// decodeBlockTexel extracts texel i (0..15) from a compressed block.
+func decodeBlockTexel(block uint64, i int) Color {
+	e0 := uint16(block)
+	e1 := uint16(block >> 16)
+	idx := (uint32(block>>32) >> (2 * i)) & 3
+	palette := buildPalette(e0, e1)
+	return palette[idx]
+}
+
+func buildPalette(e0, e1 uint16) [4]Color {
+	c0 := unpack565(e0)
+	c1 := unpack565(e1)
+	return [4]Color{
+		c0,
+		c1,
+		LerpColor(c0, c1, 1.0/3).withAlpha(1),
+		LerpColor(c0, c1, 2.0/3).withAlpha(1),
+	}
+}
+
+func (c Color) withAlpha(a float32) Color {
+	c.A = a
+	return c
+}
+
+func distSq(a, b Color) float32 {
+	dr := a.R - b.R
+	dg := a.G - b.G
+	db := a.B - b.B
+	return dr*dr + dg*dg + db*db
+}
+
+func pack565(c Color) uint16 {
+	r := uint16(Clamp01Tex(c.R)*31 + 0.5)
+	g := uint16(Clamp01Tex(c.G)*63 + 0.5)
+	b := uint16(Clamp01Tex(c.B)*31 + 0.5)
+	return r<<11 | g<<5 | b
+}
+
+func unpack565(v uint16) Color {
+	return Color{
+		R: float32(v>>11&0x1f) / 31,
+		G: float32(v>>5&0x3f) / 63,
+		B: float32(v&0x1f) / 31,
+		A: 1,
+	}
+}
+
+// Clamp01Tex limits v to [0,1].
+func Clamp01Tex(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// compressedTexel decodes texel (x, y) of level lv (coordinates already
+// wrapped into range).
+func (t *Texture) compressedTexel(lv, x, y int) Color {
+	cl := &t.compressed[lv]
+	block := cl.blocks[(y/4)*cl.blocksX+x/4]
+	return decodeBlockTexel(block, (y%4)*4+x%4)
+}
+
+// compressedTexelAddr returns the byte address of the block containing
+// texel (x, y): fetching any texel of a block reads its 8 bytes.
+func (t *Texture) compressedTexelAddr(lv, x, y int) uint64 {
+	cl := &t.compressed[lv]
+	blockIdx := (y/4)*cl.blocksX + x/4
+	return t.Levels[lv].Addr + uint64(blockIdx)*blockBytes
+}
+
+// compressedLevelBytes returns the compressed storage of level lv.
+func (t *Texture) compressedLevelBytes(lv int) int {
+	cl := &t.compressed[lv]
+	return cl.blocksX * cl.blocksY * blockBytes
+}

@@ -1,0 +1,135 @@
+package texture
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressIdempotent(t *testing.T) {
+	tx := noiseTexture(32)
+	tx.Compress()
+	size := tx.SizeBytes()
+	tx.Compress()
+	if tx.SizeBytes() != size {
+		t.Fatal("double compression changed size")
+	}
+}
+
+func TestCompressedFootprintRatio(t *testing.T) {
+	tx := noiseTexture(64)
+	raw := tx.SizeBytes()
+	tx.Compress()
+	if got := tx.SizeBytes(); got*8 != raw && got*8 > raw+1024 {
+		t.Fatalf("compression ratio wrong: %d -> %d (want ~8:1)", raw, got)
+	}
+}
+
+func TestCompressedSolidBlockExact(t *testing.T) {
+	// A solid-color texture must decode exactly (up to RGB565
+	// quantization).
+	tx := NewTexture(0, "solid", 16, 16, LayoutLinear, WrapRepeat)
+	c := Color{R: 8.0 / 31, G: 16.0 / 63, B: 24.0 / 31, A: 1}
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			tx.SetTexel(0, x, y, c)
+		}
+	}
+	tx.Compress()
+	got := tx.Texel(0, 7, 7)
+	if math.Abs(float64(got.R-c.R)) > 0.02 || math.Abs(float64(got.G-c.G)) > 0.02 ||
+		math.Abs(float64(got.B-c.B)) > 0.02 {
+		t.Fatalf("solid block decoded to %+v want %+v", got, c)
+	}
+}
+
+func TestCompressedTwoToneBlockExact(t *testing.T) {
+	// A block with only the two endpoint colors decodes to those colors.
+	tx := NewTexture(0, "2tone", 4, 4, LayoutLinear, WrapRepeat)
+	dark := Color{R: 0, G: 0, B: 0, A: 1}
+	light := Color{R: 1, G: 1, B: 1, A: 1}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if (x+y)%2 == 0 {
+				tx.SetTexel(0, x, y, dark)
+			} else {
+				tx.SetTexel(0, x, y, light)
+			}
+		}
+	}
+	tx.Compress()
+	if got := tx.Texel(0, 0, 0); got.R > 0.01 {
+		t.Fatalf("dark texel decoded to %+v", got)
+	}
+	if got := tx.Texel(0, 1, 0); got.R < 0.99 {
+		t.Fatalf("light texel decoded to %+v", got)
+	}
+}
+
+func TestCompressionErrorBounded(t *testing.T) {
+	// Lossy, but each decoded texel must stay within the block's own
+	// color range plus quantization slack.
+	tx := noiseTexture(32)
+	ref := make([]Color, 32*32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			ref[y*32+x] = tx.Texel(0, x, y)
+		}
+	}
+	tx.Compress()
+	var worst float64
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			got := tx.Texel(0, x, y)
+			want := ref[y*32+x]
+			d := math.Abs(float64(got.R-want.R)) + math.Abs(float64(got.G-want.G)) + math.Abs(float64(got.B-want.B))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1.2 {
+		t.Fatalf("worst per-texel error %.3f too large", worst)
+	}
+}
+
+func TestCompressedAddressesBlockGranular(t *testing.T) {
+	tx := noiseTexture(32)
+	tx.Compress()
+	tx.AssignAddresses(0)
+	// All 16 texels of a block share one 8-byte address.
+	base := tx.TexelAddr(0, 4, 4)
+	for dy := 0; dy < 4; dy++ {
+		for dx := 0; dx < 4; dx++ {
+			if tx.TexelAddr(0, 4+dx, 4+dy) != base {
+				t.Fatalf("texel (%d,%d) not in its block", 4+dx, 4+dy)
+			}
+		}
+	}
+	// The next block is 8 bytes away.
+	if tx.TexelAddr(0, 8, 4) != base+8 {
+		t.Fatalf("adjacent block stride %d want 8", tx.TexelAddr(0, 8, 4)-base)
+	}
+}
+
+func TestPack565RoundTrip(t *testing.T) {
+	err := quick.Check(func(v uint16) bool {
+		c := unpack565(v)
+		return pack565(c) == v
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedSamplingStillWorks(t *testing.T) {
+	tx := noiseTexture(64)
+	s := Sampler{MaxAniso: 16}
+	ref := s.SampleAniso(tx, 0.4, 0.6, Footprint{N: 4, Lod: 1, AxisU: 0.05})
+	tx.Compress()
+	got := s.SampleAniso(tx, 0.4, 0.6, Footprint{N: 4, Lod: 1, AxisU: 0.05})
+	// Filtered result must be near the uncompressed reference.
+	if math.Abs(float64(got.R-ref.R)) > 0.25 {
+		t.Fatalf("compressed filtering diverged: %+v vs %+v", got, ref)
+	}
+}

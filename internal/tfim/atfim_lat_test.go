@@ -1,0 +1,55 @@
+package tfim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/hmc"
+	"repro/internal/texture"
+)
+
+// TestATFIMOffloadLatencyBounded drives the A-TFIM path directly with a
+// stream of requests marching across a texture (every request missing) and
+// checks that offload round trips stay bounded — i.e., no runaway queueing
+// inside the cube model or the Parent Texel Buffer.
+func TestATFIMOffloadLatencyBounded(t *testing.T) {
+	cfg := config.Default(config.ATFIM)
+	cube := hmc.New(hmc.DefaultConfig())
+	path := NewATFIMPath(cfg, cube)
+
+	tex := texture.NewTexture(0, "test", 1024, 1024, texture.LayoutMorton, texture.WrapRepeat)
+	for y := 0; y < 1024; y++ {
+		for x := 0; x < 1024; x++ {
+			tex.SetTexel(0, x, y, texture.Gray(float32(x%7)/7))
+		}
+	}
+	tex.BuildMipmaps()
+	tex.AssignAddresses(0)
+
+	const n = 20000
+	now := int64(0)
+	for i := 0; i < n; i++ {
+		u := float32(i%1024) / 1024
+		v := float32(i/64) / 1024
+		req := gpu.TexRequest{
+			Tex: tex, U: u, V: v,
+			Foot:    texture.Footprint{Lod: 0.5, N: 4, AxisU: 4.0 / 1024, Angle: 0.3},
+			Cluster: i % 16,
+		}
+		res := path.Sample(now, &req)
+		if res.Done < now {
+			t.Fatalf("request %d completed before issue", i)
+		}
+		now += 3 // arrival rate ~0.33/cycle
+	}
+	act := path.Activity()
+	t.Logf("requests=%d offloads=%d meanLat=%.1f queue=%.1f mem=%.1f offLat=%.1f",
+		act.TexRequests, act.OffloadPackets, act.MeanLatency(),
+		float64(act.QueueCycles)/float64(act.TexRequests),
+		float64(act.MemCycles)/float64(act.TexRequests),
+		float64(act.OffloadLatencySum)/float64(act.OffloadPackets))
+	if mean := act.MeanLatency(); mean > 500 {
+		t.Errorf("mean latency %.1f looks unbounded", mean)
+	}
+}

@@ -1,0 +1,186 @@
+// Package tfim implements the paper's four texture-filtering architectures
+// as gpu.TexturePath implementations:
+//
+//   - Baseline / B-PIM: the full filter chain (bilinear, trilinear,
+//     anisotropic) runs in GPU texture units behind L1/L2 texture caches;
+//     the two differ only in the memory backend (GDDR5 vs. HMC).
+//   - S-TFIM (Section IV): every texture unit moves into the HMC logic
+//     layer as a Memory Texture Unit (MTU); the GPU loses its texture
+//     caches and exchanges request/response packages over the links.
+//   - A-TFIM (Section V): anisotropic filtering moves into the HMC logic
+//     layer AND is reordered to run first; the GPU fetches approximated
+//     "parent texels" (cached with a per-line camera angle) and finishes
+//     with bilinear + trilinear filtering on chip.
+package tfim
+
+import (
+	"repro/internal/gpu"
+)
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// unitTiming tracks one texture unit's (or MTU's) pipeline occupancy and
+// its bounded outstanding-miss window (MSHR-style latency hiding).
+// Occupancy accumulates fractionally so sub-cycle throughput differences
+// between designs (e.g. 8 vs. 14 texels on 16-lane address ALUs) are not
+// erased by integer quantization.
+type unitTiming struct {
+	free float64
+	ring []int64
+	head int
+}
+
+func newUnitTiming(mshrs int) *unitTiming {
+	if mshrs < 1 {
+		mshrs = 1
+	}
+	return &unitTiming{ring: make([]int64, mshrs)}
+}
+
+// admit returns the issue cycle for a request arriving at `now`, honoring
+// pipeline occupancy and the outstanding window.
+func (u *unitTiming) admit(now int64) int64 {
+	_, issue := u.admit2(now)
+	return issue
+}
+
+// admit2 splits admission into its two delays: `accepted` is when the
+// unit's pipeline takes the request (occupancy — shader-side congestion),
+// and `issue` additionally waits for an outstanding-miss slot (memory
+// back-pressure, which belongs to the texture-filtering latency metric).
+func (u *unitTiming) admit2(now int64) (accepted, issue int64) {
+	accepted = now
+	if f := int64(u.free); f > accepted {
+		accepted = f
+	}
+	issue = accepted
+	if oldest := u.ring[u.head]; oldest > issue {
+		issue = oldest
+	}
+	return accepted, issue
+}
+
+// retire records a request that issued at `issue` and occupies the
+// pipeline for occ cycles (fractional). Only requests that went to memory
+// (missed) consume an outstanding-miss slot; hits drain through the
+// pipeline without holding an MSHR.
+func (u *unitTiming) retire(issue int64, occ float64, done int64, missed bool) {
+	u.free = float64(issue) + occ
+	if missed {
+		u.ring[u.head] = done
+		u.head = (u.head + 1) % len(u.ring)
+	}
+}
+
+func (u *unitTiming) reset() {
+	u.free = 0
+	u.head = 0
+	for i := range u.ring {
+		u.ring[i] = 0
+	}
+}
+
+// bufferTiming models a fixed-capacity buffer shared by out-of-order
+// producers (the Parent Texel Buffer): an admission may not start before
+// the entry `capacity` admissions ago has drained. Unlike unitTiming it has
+// no pipeline-occupancy ratchet, so producers with lagging timestamps are
+// not serialized behind the global frontier.
+type bufferTiming struct {
+	ring []int64
+	head int
+}
+
+func newBufferTiming(capacity int) *bufferTiming {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &bufferTiming{ring: make([]int64, capacity)}
+}
+
+// admit returns the start cycle for an entry arriving at now.
+func (b *bufferTiming) admit(now int64) int64 {
+	if r := b.ring[b.head]; r > now {
+		return r
+	}
+	return now
+}
+
+// retire records the entry's drain time.
+func (b *bufferTiming) retire(done int64) {
+	b.ring[b.head] = done
+	b.head = (b.head + 1) % len(b.ring)
+}
+
+func (b *bufferTiming) reset() {
+	b.head = 0
+	for i := range b.ring {
+		b.ring[i] = 0
+	}
+}
+
+// quadCoalesce is the request-coalescing factor of the texture front end:
+// texture units operate on fragment quads/tiles (ATTILA texture requests
+// cover a whole fragment tile), so package framing is shared by groups of
+// four requests. The first request of each group pays the full package;
+// the rest ride along.
+const quadCoalesce = 4
+
+// packageMeter amortizes package bytes across coalesced requests: every
+// quadCoalesce-th call pays fullBytes, the others incrementBytes.
+type packageMeter struct {
+	count int
+}
+
+func (p *packageMeter) bytes(fullBytes, incrementBytes int) int {
+	p.count++
+	if (p.count-1)%quadCoalesce == 0 {
+		return fullBytes
+	}
+	return incrementBytes
+}
+
+func (p *packageMeter) reset() { p.count = 0 }
+
+// latency hit costs (GPU cycles) for the on-chip texture cache hierarchy.
+const (
+	l1HitLatency   = 4
+	l2HitLatency   = 18
+	pipeBaseCycles = 4
+)
+
+// ceilI64 rounds a fractional cycle cost up to whole cycles (latency
+// additions stay integral; occupancy stays fractional).
+func ceilI64(f float64) int64 {
+	i := int64(f)
+	if float64(i) < f {
+		i++
+	}
+	return i
+}
+
+// aluCost returns the (fractional) cycles to process n scalar operations
+// on `alus` simd4 ALUs (Table I's "simd4-scale" units: 4 ops per
+// ALU-cycle).
+func aluCost(n, alus int) float64 {
+	if alus <= 0 {
+		return float64(n)
+	}
+	return float64(n) / float64(alus*4)
+}
+
+// recordLatency accumulates the paper's texture-filtering latency metric:
+// from when the texture machinery accepts the request to when the shader
+// receives the final filtered texture. Shader-side admission queueing is
+// reported separately (PathActivity.QueueCycles); for S-TFIM the request
+// package leaves the shader immediately, so its latency includes the MTU
+// queue and both link transits — exactly the cost Section IV identifies.
+func recordLatency(act *gpu.PathActivity, accepted, done int64) {
+	act.LatencySum += done - accepted
+	act.LatencyCount++
+}

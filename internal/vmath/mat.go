@@ -1,0 +1,143 @@
+package vmath
+
+import "math"
+
+// Mat4 is a 4x4 row-major float32 matrix.
+type Mat4 [16]float32
+
+// Identity returns the 4x4 identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Mul returns the matrix product m*n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s float32
+			for k := 0; k < 4; k++ {
+				s += m[i*4+k] * n[k*4+j]
+			}
+			r[i*4+j] = s
+		}
+	}
+	return r
+}
+
+// MulVec returns the matrix-vector product m*v.
+func (m Mat4) MulVec(v Vec4) Vec4 {
+	return Vec4{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]*v.W,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]*v.W,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]*v.W,
+		m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]*v.W,
+	}
+}
+
+// Row returns row i of the matrix as a Vec4.
+func (m Mat4) Row(i int) Vec4 {
+	return Vec4{m[i*4], m[i*4+1], m[i*4+2], m[i*4+3]}
+}
+
+// Transpose returns the transpose of m.
+func (m Mat4) Transpose() Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			r[j*4+i] = m[i*4+j]
+		}
+	}
+	return r
+}
+
+// Translate returns a translation matrix by (x, y, z).
+func Translate(x, y, z float32) Mat4 {
+	return Mat4{
+		1, 0, 0, x,
+		0, 1, 0, y,
+		0, 0, 1, z,
+		0, 0, 0, 1,
+	}
+}
+
+// Scale3 returns a scaling matrix by (x, y, z).
+func Scale3(x, y, z float32) Mat4 {
+	return Mat4{
+		x, 0, 0, 0,
+		0, y, 0, 0,
+		0, 0, z, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateX returns a rotation matrix about the X axis by angle radians.
+func RotateX(angle float32) Mat4 {
+	s, c := sincos(angle)
+	return Mat4{
+		1, 0, 0, 0,
+		0, c, -s, 0,
+		0, s, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateY returns a rotation matrix about the Y axis by angle radians.
+func RotateY(angle float32) Mat4 {
+	s, c := sincos(angle)
+	return Mat4{
+		c, 0, s, 0,
+		0, 1, 0, 0,
+		-s, 0, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateZ returns a rotation matrix about the Z axis by angle radians.
+func RotateZ(angle float32) Mat4 {
+	s, c := sincos(angle)
+	return Mat4{
+		c, -s, 0, 0,
+		s, c, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+func sincos(a float32) (s, c float32) {
+	sd, cd := math.Sincos(float64(a))
+	return float32(sd), float32(cd)
+}
+
+// Perspective returns a right-handed perspective projection matrix with the
+// given vertical field of view (radians), aspect ratio (width/height) and
+// near/far clip distances. Depth maps to [-1, 1] NDC (OpenGL convention).
+func Perspective(fovY, aspect, near, far float32) Mat4 {
+	f := float32(1 / math.Tan(float64(fovY)/2))
+	return Mat4{
+		f / aspect, 0, 0, 0,
+		0, f, 0, 0,
+		0, 0, (far + near) / (near - far), 2 * far * near / (near - far),
+		0, 0, -1, 0,
+	}
+}
+
+// LookAt returns a view matrix placing the camera at eye, looking toward
+// center, with the given up direction.
+func LookAt(eye, center, up Vec3) Mat4 {
+	f := center.Sub(eye).Normalize()
+	s := f.Cross(up.Normalize()).Normalize()
+	u := s.Cross(f)
+	m := Mat4{
+		s.X, s.Y, s.Z, 0,
+		u.X, u.Y, u.Z, 0,
+		-f.X, -f.Y, -f.Z, 0,
+		0, 0, 0, 1,
+	}
+	return m.Mul(Translate(-eye.X, -eye.Y, -eye.Z))
+}

@@ -1,0 +1,154 @@
+// Package vmath provides the small linear-algebra kernel used by the
+// renderer: 2/3/4-component float32 vectors, 4x4 matrices, and the
+// projection/view transforms needed for 3D rendering.
+package vmath
+
+import "math"
+
+// Vec2 is a 2-component float32 vector (used for texture coordinates).
+type Vec2 struct {
+	X, Y float32
+}
+
+// Vec3 is a 3-component float32 vector.
+type Vec3 struct {
+	X, Y, Z float32
+}
+
+// Vec4 is a 4-component float32 vector (homogeneous positions, RGBA colors).
+type Vec4 struct {
+	X, Y, Z, W float32
+}
+
+// Add returns a+b.
+func (a Vec2) Add(b Vec2) Vec2 { return Vec2{a.X + b.X, a.Y + b.Y} }
+
+// Sub returns a-b.
+func (a Vec2) Sub(b Vec2) Vec2 { return Vec2{a.X - b.X, a.Y - b.Y} }
+
+// Scale returns a*s.
+func (a Vec2) Scale(s float32) Vec2 { return Vec2{a.X * s, a.Y * s} }
+
+// Dot returns the dot product of a and b.
+func (a Vec2) Dot(b Vec2) float32 { return a.X*b.X + a.Y*b.Y }
+
+// Len returns the Euclidean length of a.
+func (a Vec2) Len() float32 { return float32(math.Sqrt(float64(a.Dot(a)))) }
+
+// Add returns a+b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a-b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a*s.
+func (a Vec3) Scale(s float32) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Dot returns the dot product of a and b.
+func (a Vec3) Dot(b Vec3) float32 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a x b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Len returns the Euclidean length of a.
+func (a Vec3) Len() float32 { return float32(math.Sqrt(float64(a.Dot(a)))) }
+
+// Normalize returns a unit-length copy of a. The zero vector is returned
+// unchanged.
+func (a Vec3) Normalize() Vec3 {
+	l := a.Len()
+	if l == 0 {
+		return a
+	}
+	return a.Scale(1 / l)
+}
+
+// Add returns a+b.
+func (a Vec4) Add(b Vec4) Vec4 {
+	return Vec4{a.X + b.X, a.Y + b.Y, a.Z + b.Z, a.W + b.W}
+}
+
+// Sub returns a-b.
+func (a Vec4) Sub(b Vec4) Vec4 {
+	return Vec4{a.X - b.X, a.Y - b.Y, a.Z - b.Z, a.W - b.W}
+}
+
+// Scale returns a*s.
+func (a Vec4) Scale(s float32) Vec4 {
+	return Vec4{a.X * s, a.Y * s, a.Z * s, a.W * s}
+}
+
+// Mul returns the component-wise product of a and b.
+func (a Vec4) Mul(b Vec4) Vec4 {
+	return Vec4{a.X * b.X, a.Y * b.Y, a.Z * b.Z, a.W * b.W}
+}
+
+// Dot returns the 4-component dot product of a and b.
+func (a Vec4) Dot(b Vec4) float32 {
+	return a.X*b.X + a.Y*b.Y + a.Z*b.Z + a.W*b.W
+}
+
+// Dot3 returns the dot product of the XYZ components only.
+func (a Vec4) Dot3(b Vec4) float32 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// XYZ returns the first three components as a Vec3.
+func (a Vec4) XYZ() Vec3 { return Vec3{a.X, a.Y, a.Z} }
+
+// Lerp returns a + t*(b-a), the linear interpolation between a and b.
+func Lerp(a, b Vec4, t float32) Vec4 {
+	return Vec4{
+		a.X + t*(b.X-a.X),
+		a.Y + t*(b.Y-a.Y),
+		a.Z + t*(b.Z-a.Z),
+		a.W + t*(b.W-a.W),
+	}
+}
+
+// Lerp2 returns the linear interpolation between two Vec2 values.
+func Lerp2(a, b Vec2, t float32) Vec2 {
+	return Vec2{a.X + t*(b.X-a.X), a.Y + t*(b.Y-a.Y)}
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float32) float32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Clamp01 limits v to [0, 1].
+func Clamp01(v float32) float32 { return Clamp(v, 0, 1) }
+
+// Abs returns the absolute value of v.
+func Abs(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Max returns the larger of a and b.
+func Max(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}

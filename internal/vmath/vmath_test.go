@@ -1,0 +1,167 @@
+package vmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float32) bool {
+	return float32(math.Abs(float64(a-b))) <= eps
+}
+
+func TestIdentityMul(t *testing.T) {
+	id := Identity()
+	m := Translate(1, 2, 3).Mul(RotateY(0.7)).Mul(Scale3(2, 2, 2))
+	left := id.Mul(m)
+	right := m.Mul(id)
+	for i := 0; i < 16; i++ {
+		if left[i] != m[i] || right[i] != m[i] {
+			t.Fatalf("identity multiplication changed element %d", i)
+		}
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	a := Translate(1, -2, 3)
+	b := RotateX(0.4)
+	c := Perspective(1.0, 1.5, 0.1, 100)
+	ab_c := a.Mul(b).Mul(c)
+	a_bc := a.Mul(b.Mul(c))
+	for i := 0; i < 16; i++ {
+		if !almostEq(ab_c[i], a_bc[i], 1e-4) {
+			t.Fatalf("associativity violated at %d: %g vs %g", i, ab_c[i], a_bc[i])
+		}
+	}
+}
+
+func TestMatVecMatchesComposition(t *testing.T) {
+	m := Translate(5, 0, 0)
+	n := Scale3(2, 2, 2)
+	v := Vec4{X: 1, Y: 1, Z: 1, W: 1}
+	// (m*n)*v == m*(n*v)
+	lhs := m.Mul(n).MulVec(v)
+	rhs := m.MulVec(n.MulVec(v))
+	if lhs != rhs {
+		t.Fatalf("composition mismatch: %v vs %v", lhs, rhs)
+	}
+	if rhs.X != 7 || rhs.Y != 2 || rhs.Z != 2 {
+		t.Fatalf("translate(scale(v)) wrong: %v", rhs)
+	}
+}
+
+func TestRotationPreservesLength(t *testing.T) {
+	err := quick.Check(func(x, y, z float32, angle float32) bool {
+		v := Vec4{X: clampT(x), Y: clampT(y), Z: clampT(z), W: 0}
+		r := RotateY(clampT(angle)).MulVec(v)
+		lv := math.Sqrt(float64(v.Dot3(v)))
+		lr := math.Sqrt(float64(r.Dot3(r)))
+		return math.Abs(lv-lr) < 1e-3*(lv+1)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clampT maps arbitrary floats into a sane test range.
+func clampT(v float32) float32 {
+	if v != v || v > 100 || v < -100 { // NaN or huge
+		return 1
+	}
+	return v
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	err := quick.Check(func(seed uint8) bool {
+		m := RotateZ(float32(seed) / 40).Mul(Translate(float32(seed), 1, 2))
+		return m.Transpose().Transpose() == m
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	err := quick.Check(func(ax, ay, az, bx, by, bz float32) bool {
+		a := Vec3{clampT(ax), clampT(ay), clampT(az)}
+		b := Vec3{clampT(bx), clampT(by), clampT(bz)}
+		c := a.Cross(b)
+		return almostEq(c.Dot(a), 0, 1e-2) && almostEq(c.Dot(b), 0, 1e-2)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeUnitLength(t *testing.T) {
+	v := Vec3{3, 4, 0}.Normalize()
+	if !almostEq(v.Len(), 1, 1e-6) {
+		t.Fatalf("normalized length %g", v.Len())
+	}
+	zero := Vec3{}.Normalize()
+	if zero != (Vec3{}) {
+		t.Fatalf("zero vector should normalize to itself")
+	}
+}
+
+func TestLookAtMapsEyeToOrigin(t *testing.T) {
+	eye := Vec3{X: 3, Y: 2, Z: 5}
+	m := LookAt(eye, Vec3{X: 0, Y: 0, Z: 0}, Vec3{Y: 1})
+	p := m.MulVec(Vec4{X: eye.X, Y: eye.Y, Z: eye.Z, W: 1})
+	if !almostEq(p.X, 0, 1e-4) || !almostEq(p.Y, 0, 1e-4) || !almostEq(p.Z, 0, 1e-4) {
+		t.Fatalf("eye maps to %v, want origin", p)
+	}
+}
+
+func TestLookAtForwardIsMinusZ(t *testing.T) {
+	m := LookAt(Vec3{Z: 10}, Vec3{}, Vec3{Y: 1})
+	// A point in front of the camera should land at negative eye-space Z.
+	p := m.MulVec(Vec4{X: 0, Y: 0, Z: 0, W: 1})
+	if p.Z >= 0 {
+		t.Fatalf("look-at target has z=%g, want negative", p.Z)
+	}
+}
+
+func TestPerspectiveDepthRange(t *testing.T) {
+	proj := Perspective(1.0, 1.0, 1, 100)
+	near := proj.MulVec(Vec4{Z: -1, W: 1})
+	far := proj.MulVec(Vec4{Z: -100, W: 1})
+	if !almostEq(near.Z/near.W, -1, 1e-4) {
+		t.Errorf("near plane maps to %g, want -1", near.Z/near.W)
+	}
+	if !almostEq(far.Z/far.W, 1, 1e-4) {
+		t.Errorf("far plane maps to %g, want 1", far.Z/far.W)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := Vec4{X: 1, Y: 2, Z: 3, W: 4}
+	b := Vec4{X: -1, Y: 0, Z: 7, W: 2}
+	if Lerp(a, b, 0) != a {
+		t.Error("lerp(0) != a")
+	}
+	if Lerp(a, b, 1) != b {
+		t.Error("lerp(1) != b")
+	}
+	mid := Lerp(a, b, 0.5)
+	if !almostEq(mid.X, 0, 1e-6) || !almostEq(mid.Z, 5, 1e-6) {
+		t.Errorf("midpoint wrong: %v", mid)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float32 }{
+		{5, 0, 1, 1}, {-5, 0, 1, 0}, {0.5, 0, 1, 0.5},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g)=%g want %g", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if Max(2, 3) != 3 || Min(2, 3) != 2 || Abs(-4) != 4 || Abs(4) != 4 {
+		t.Fatal("Min/Max/Abs broken")
+	}
+}

@@ -1,0 +1,175 @@
+// Package workload defines the Table II benchmark catalog: five game-like
+// workloads at the paper's resolutions, each mapped to a deterministic
+// procedural scene (see internal/scene and DESIGN.md for the substitution
+// of proprietary ATTILA traces with synthetic equivalents).
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/scene"
+	"repro/internal/texture"
+)
+
+// Workload is one Table II row: a named game at one resolution.
+type Workload struct {
+	// Game is the game name ("doom3", "fear", "hl2", "riddick", "wolf").
+	Game string
+	// Width and Height are the render resolution.
+	Width, Height int
+	// Library is the rendering API of the original trace ("OpenGL"/"D3D").
+	Library string
+	// Engine is the game's 3D engine (Table II).
+	Engine string
+	// Spec is the procedural scene recipe.
+	Spec scene.Spec
+}
+
+// Name returns the canonical "game-WxH" identifier used in figures.
+func (w Workload) Name() string {
+	return fmt.Sprintf("%s-%dx%d", w.Game, w.Width, w.Height)
+}
+
+// Pixels returns the frame's pixel count.
+func (w Workload) Pixels() int { return w.Width * w.Height }
+
+// Scene generates the workload's scene (deterministic per Spec).
+func (w Workload) Scene() *scene.Scene { return scene.Generate(w.Spec) }
+
+// gameRecipe captures a game's scene character, independent of resolution.
+type gameRecipe struct {
+	library, engine string
+	seed            uint64
+	segments        int
+	props           int
+	textures        int
+	texSize         int
+	obliqueBias     float32
+	ambient         float32
+	kinds           []texture.SynthKind
+}
+
+// The five games. Knobs are chosen to differentiate the workloads the way
+// the paper's Fig. 2/Fig. 4 bars differ: doom3 is texture-heavy indoor with
+// strong oblique floors (high aniso demand); fear has dense props
+// (overdraw); hl2 mixes large textures; riddick is dark with fewer
+// textures; wolf is corridor-style with grates (aliasing-prone).
+var games = map[string]gameRecipe{
+	"doom3": {
+		library: "OpenGL", engine: "Id Tech 4", seed: 0xD003,
+		segments: 14, props: 60, textures: 12, texSize: 512,
+		obliqueBias: 0.9, ambient: 0.30,
+		kinds: []texture.SynthKind{texture.SynthBrick, texture.SynthMetal, texture.SynthNoise, texture.SynthGrate},
+	},
+	"fear": {
+		library: "D3D", engine: "Jupiter EX", seed: 0xFEA2,
+		segments: 12, props: 110, textures: 10, texSize: 512,
+		obliqueBias: 0.6, ambient: 0.35,
+		kinds: []texture.SynthKind{texture.SynthNoise, texture.SynthChecker, texture.SynthMarble, texture.SynthMetal},
+	},
+	"hl2": {
+		library: "D3D", engine: "Source Engine", seed: 0x4A12,
+		segments: 16, props: 80, textures: 14, texSize: 1024,
+		obliqueBias: 0.75, ambient: 0.40,
+		kinds: []texture.SynthKind{texture.SynthBrick, texture.SynthWood, texture.SynthNoise, texture.SynthChecker},
+	},
+	"riddick": {
+		library: "OpenGL", engine: "In-House Engine", seed: 0x21DD,
+		segments: 10, props: 50, textures: 8, texSize: 256,
+		obliqueBias: 0.5, ambient: 0.22,
+		kinds: []texture.SynthKind{texture.SynthMetal, texture.SynthNoise, texture.SynthGrate},
+	},
+	"wolf": {
+		library: "D3D", engine: "Id Tech 4", seed: 0x301F,
+		segments: 12, props: 70, textures: 10, texSize: 512,
+		obliqueBias: 0.8, ambient: 0.33,
+		kinds: []texture.SynthKind{texture.SynthGrate, texture.SynthBrick, texture.SynthWood},
+	},
+}
+
+// tableII lists the game/resolution pairs of Table II.
+var tableII = []struct {
+	game string
+	w, h int
+}{
+	{"doom3", 1280, 1024},
+	{"doom3", 640, 480},
+	{"doom3", 320, 240},
+	{"fear", 1280, 1024},
+	{"fear", 640, 480},
+	{"fear", 320, 240},
+	{"hl2", 1280, 1024},
+	{"hl2", 640, 480},
+	{"riddick", 640, 480},
+	{"wolf", 640, 480},
+}
+
+// Get builds the workload for a game at a resolution. Unknown games return
+// an error listing the catalog.
+func Get(game string, w, h int) (Workload, error) {
+	r, ok := games[strings.ToLower(game)]
+	if !ok {
+		return Workload{}, fmt.Errorf("unknown game %q (have: %s)", game, strings.Join(GameNames(), ", "))
+	}
+	return Workload{
+		Game:    strings.ToLower(game),
+		Width:   w,
+		Height:  h,
+		Library: r.library,
+		Engine:  r.engine,
+		Spec: scene.Spec{
+			Name:             fmt.Sprintf("%s-%dx%d", game, w, h),
+			Seed:             r.seed,
+			CorridorSegments: r.segments,
+			Props:            r.props,
+			TextureCount:     r.textures,
+			TextureSize:      r.texSize,
+			Frames:           8,
+			ObliqueBias:      r.obliqueBias,
+			Ambient:          r.ambient,
+			Layout:           texture.LayoutMorton,
+			Kinds:            r.kinds,
+		},
+	}, nil
+}
+
+// MustGet is Get that panics on error (for the built-in catalog).
+func MustGet(game string, w, h int) Workload {
+	wl, err := Get(game, w, h)
+	if err != nil {
+		panic(err)
+	}
+	return wl
+}
+
+// TableII returns the full Table II catalog in the paper's order.
+func TableII() []Workload {
+	out := make([]Workload, 0, len(tableII))
+	for _, e := range tableII {
+		out = append(out, MustGet(e.game, e.w, e.h))
+	}
+	return out
+}
+
+// FiveGames returns one representative resolution per game (the five bars
+// of Fig. 4): the 640x480 capture of each.
+func FiveGames() []Workload {
+	names := GameNames()
+	out := make([]Workload, 0, len(names))
+	for _, g := range names {
+		out = append(out, MustGet(g, 640, 480))
+	}
+	return out
+}
+
+// GameNames returns the sorted game identifiers.
+func GameNames() []string {
+	names := make([]string, 0, len(games))
+	for g := range games {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIICatalog(t *testing.T) {
+	wls := TableII()
+	if len(wls) != 10 {
+		t.Fatalf("Table II has %d rows, want 10", len(wls))
+	}
+	// The paper's resolutions per game.
+	resCount := map[string]int{}
+	for _, wl := range wls {
+		resCount[wl.Game]++
+	}
+	if resCount["doom3"] != 3 || resCount["fear"] != 3 || resCount["hl2"] != 2 ||
+		resCount["riddick"] != 1 || resCount["wolf"] != 1 {
+		t.Fatalf("resolution counts wrong: %v", resCount)
+	}
+}
+
+func TestGetUnknownGame(t *testing.T) {
+	_, err := Get("quake", 640, 480)
+	if err == nil {
+		t.Fatal("unknown game accepted")
+	}
+	if !strings.Contains(err.Error(), "doom3") {
+		t.Errorf("error should list the catalog: %v", err)
+	}
+}
+
+func TestGetCaseInsensitive(t *testing.T) {
+	wl, err := Get("DOOM3", 640, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Game != "doom3" {
+		t.Errorf("game normalized to %q", wl.Game)
+	}
+}
+
+func TestWorkloadName(t *testing.T) {
+	wl := MustGet("fear", 320, 240)
+	if wl.Name() != "fear-320x240" {
+		t.Errorf("name %q", wl.Name())
+	}
+	if wl.Pixels() != 320*240 {
+		t.Errorf("pixels %d", wl.Pixels())
+	}
+}
+
+func TestLibraryAndEngineMatchPaper(t *testing.T) {
+	cases := map[string][2]string{
+		"doom3":   {"OpenGL", "Id Tech 4"},
+		"fear":    {"D3D", "Jupiter EX"},
+		"hl2":     {"D3D", "Source Engine"},
+		"riddick": {"OpenGL", "In-House Engine"},
+		"wolf":    {"D3D", "Id Tech 4"},
+	}
+	for game, want := range cases {
+		wl := MustGet(game, 640, 480)
+		if wl.Library != want[0] || wl.Engine != want[1] {
+			t.Errorf("%s: %s/%s want %s/%s", game, wl.Library, wl.Engine, want[0], want[1])
+		}
+	}
+}
+
+func TestFiveGames(t *testing.T) {
+	wls := FiveGames()
+	if len(wls) != 5 {
+		t.Fatalf("FiveGames returned %d", len(wls))
+	}
+	for _, wl := range wls {
+		if wl.Width != 640 || wl.Height != 480 {
+			t.Errorf("%s not at 640x480", wl.Name())
+		}
+	}
+}
+
+func TestGameNamesSorted(t *testing.T) {
+	names := GameNames()
+	if len(names) != 5 {
+		t.Fatalf("%d games", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+func TestScenesDifferPerGame(t *testing.T) {
+	a := MustGet("doom3", 320, 240).Scene()
+	b := MustGet("fear", 320, 240).Scene()
+	if a.NumTriangles() == b.NumTriangles() && len(a.Textures) == len(b.Textures) {
+		t.Log("warning: doom3 and fear scenes have identical gross stats")
+	}
+	if a.Name == b.Name {
+		t.Fatal("scene names collide")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet should panic on unknown game")
+		}
+	}()
+	MustGet("nosuch", 1, 1)
+}

@@ -1,0 +1,164 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %g", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Range out of bounds: %g", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormRoughStats(t *testing.T) {
+	r := New(11)
+	var sum, sumSq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := float64(r.Norm())
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Errorf("Norm mean %g too far from 0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("Norm variance %g too far from 1", variance)
+	}
+}
+
+func TestHash2DDeterministicAndBounded(t *testing.T) {
+	err := quick.Check(func(seed uint64, x, y int32) bool {
+		a := Hash2D(seed, x, y)
+		b := Hash2D(seed, x, y)
+		return a == b && a >= 0 && a < 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueNoiseSmoothAndBounded(t *testing.T) {
+	// Noise must be continuous: neighboring samples differ by a bounded
+	// amount; all values in [0,1).
+	prev := ValueNoise2D(5, 0, 0)
+	for i := 1; i < 2000; i++ {
+		x := float32(i) * 0.01
+		v := ValueNoise2D(5, x, x*0.5)
+		if v < 0 || v >= 1 {
+			t.Fatalf("noise out of range: %g", v)
+		}
+		if d := v - prev; d > 0.2 || d < -0.2 {
+			t.Fatalf("noise discontinuity at %g: %g -> %g", x, prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestFBMBounded(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		v := FBM2D(9, float32(i)*0.13, float32(i)*0.07, 5)
+		if v < 0 || v >= 1 {
+			t.Fatalf("fbm out of range: %g", v)
+		}
+	}
+	if FBM2D(9, 1, 1, 0) != 0 {
+		t.Error("fbm with zero octaves should be 0")
+	}
+}

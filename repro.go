@@ -1,0 +1,145 @@
+// Package repro is the public API of the reproduction of "Processing-in-
+// Memory Enabled Graphics Processors for 3D Rendering" (Xie et al., HPCA
+// 2017). It exposes the four architectures the paper evaluates — the
+// GDDR5 baseline GPU, B-PIM (HMC as plain memory), S-TFIM (all texture
+// filtering in the HMC logic layer) and A-TFIM (anisotropic filtering
+// moved into memory and reordered to run first) — over a functional,
+// cycle-accounted rasterization GPU model, plus the complete evaluation
+// harness that regenerates every figure and table of the paper.
+//
+// Quick start:
+//
+//	wl, _ := repro.Workload("doom3", 640, 480)
+//	res, _ := repro.Simulate(wl, repro.Options{Design: repro.ATFIM})
+//	fmt.Println(res.FPS(), res.TextureTraffic())
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/quality"
+	"repro/internal/workload"
+)
+
+// Design selects one of the paper's four architectures.
+type Design = config.Design
+
+// The four designs (Section VII compares them).
+const (
+	// Baseline is the GDDR5-backed GPU.
+	Baseline = config.Baseline
+	// BPIM uses an HMC as a plain, faster main memory.
+	BPIM = config.BPIM
+	// STFIM moves all texture units into the HMC logic layer.
+	STFIM = config.STFIM
+	// ATFIM moves (reordered) anisotropic filtering into the HMC.
+	ATFIM = config.ATFIM
+)
+
+// Camera-angle thresholds from Section VII-D (radians).
+const (
+	Angle0005Pi   = config.Angle0005Pi
+	Angle001Pi    = config.Angle001Pi
+	Angle005Pi    = config.Angle005Pi
+	Angle01Pi     = config.Angle01Pi
+	AngleNoRecalc = config.AngleNoRecalc
+)
+
+// Options configures a simulation run.
+type Options = core.Options
+
+// Result is the outcome of a simulation run.
+type Result = core.Result
+
+// Experiment is a regenerated paper figure or table.
+type Experiment = core.Experiment
+
+// WorkloadSpec is one Table II benchmark.
+type WorkloadSpec = workload.Workload
+
+// Workload returns the named game workload at the given resolution.
+// Games: doom3, fear, hl2, riddick, wolf.
+func Workload(game string, w, h int) (WorkloadSpec, error) {
+	return workload.Get(game, w, h)
+}
+
+// TableII returns the paper's full benchmark catalog.
+func TableII() []WorkloadSpec { return workload.TableII() }
+
+// Simulate renders the workload under the given design and returns its
+// performance, traffic, energy and image measurements.
+func Simulate(wl WorkloadSpec, opts Options) (*Result, error) {
+	return core.Run(wl, opts)
+}
+
+// PSNR computes the peak signal-to-noise ratio between two rendered frames
+// (the paper's Fig. 15 quality metric; identical frames return 99).
+func PSNR(a, b []uint32) (float64, error) { return quality.PSNR(a, b) }
+
+// WritePNG encodes a rendered frame (Result.Image) as a PNG.
+func WritePNG(w io.Writer, pix []uint32, width, height int) error {
+	return quality.WritePNG(w, pix, width, height)
+}
+
+// ExperimentFunc regenerates one of the paper's figures over a workload
+// set.
+type ExperimentFunc func(wls []WorkloadSpec) (*Experiment, error)
+
+// Experiments returns the full per-figure harness keyed by experiment name
+// ("fig2" ... "fig16"); table1/table2/fig7/overhead take no workloads and
+// are exposed by StaticExperiments.
+func Experiments() map[string]ExperimentFunc {
+	return map[string]ExperimentFunc{
+		"fig2":  core.Fig2MemoryBreakdown,
+		"fig4":  core.Fig4AnisoOff,
+		"fig5":  core.Fig5BPIM,
+		"fig10": core.Fig10TextureSpeedup,
+		"fig11": core.Fig11RenderSpeedup,
+		"fig12": core.Fig12MemoryTraffic,
+		"fig13": core.Fig13Energy,
+		"fig14": core.Fig14ThresholdSpeedup,
+		"fig15": core.Fig15ThresholdQuality,
+		"fig16": core.Fig16Tradeoff,
+	}
+}
+
+// StaticExperiments returns the experiments that need no simulation sweep.
+func StaticExperiments() map[string]func() *Experiment {
+	return map[string]func() *Experiment{
+		"table1":   core.Table1Config,
+		"table2":   core.Table2Workloads,
+		"fig7":     core.Fig7TexelFetches,
+		"overhead": core.OverheadAnalysis,
+	}
+}
+
+// ExperimentNames lists every experiment in presentation order.
+func ExperimentNames() []string {
+	return []string{"table1", "table2", "fig2", "fig4", "fig5", "fig7",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "overhead"}
+}
+
+// RunExperiment regenerates one experiment by name over the given
+// workload set (ignored by the static experiments).
+func RunExperiment(name string, wls []WorkloadSpec) (*Experiment, error) {
+	if f, ok := StaticExperiments()[name]; ok {
+		return f(), nil
+	}
+	if f, ok := Experiments()[name]; ok {
+		return f(wls)
+	}
+	return nil, fmt.Errorf("repro: unknown experiment %q (have %v)", name, ExperimentNames())
+}
+
+// QuickSet returns the default evaluation workload set (five games at
+// 640x480 plus one 1280x1024 capture); FullSet returns all of Table II.
+func QuickSet() []WorkloadSpec { return core.QuickSet() }
+
+// FullSet returns the complete Table II workload set.
+func FullSet() []WorkloadSpec { return core.FullSet() }
+
+// MiniSet returns a small set for fast runs.
+func MiniSet() []WorkloadSpec { return core.MiniSet() }

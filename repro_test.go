@@ -1,0 +1,81 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+)
+
+func TestWorkloadCatalog(t *testing.T) {
+	if _, err := repro.Workload("doom3", 320, 240); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.Workload("nope", 320, 240); err == nil {
+		t.Fatal("unknown game accepted")
+	}
+	if len(repro.TableII()) != 10 {
+		t.Fatal("Table II catalog wrong size")
+	}
+	if len(repro.QuickSet()) != 6 || len(repro.MiniSet()) != 3 {
+		t.Fatal("workload set sizes wrong")
+	}
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	wl, _ := repro.Workload("wolf", 320, 240)
+	res, err := repro.Simulate(wl, repro.Options{Design: repro.ATFIM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles() <= 0 || res.TextureTraffic() == 0 {
+		t.Fatal("simulation produced no measurements")
+	}
+	var buf bytes.Buffer
+	if err := repro.WritePNG(&buf, res.Image, wl.Width, wl.Height); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1000 {
+		t.Fatal("PNG suspiciously small")
+	}
+}
+
+func TestPSNRFacade(t *testing.T) {
+	a := make([]uint32, 16)
+	p, err := repro.PSNR(a, a)
+	if err != nil || p != 99 {
+		t.Fatalf("identity PSNR %g err %v", p, err)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	names := repro.ExperimentNames()
+	if len(names) != 14 {
+		t.Fatalf("%d experiments registered", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate experiment %q", n)
+		}
+		seen[n] = true
+		inDynamic := repro.Experiments()[n] != nil
+		inStatic := repro.StaticExperiments()[n] != nil
+		if inDynamic == inStatic {
+			t.Fatalf("experiment %q registered in %v dynamic / %v static", n, inDynamic, inStatic)
+		}
+	}
+	if _, err := repro.RunExperiment("nope", nil); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunStaticExperiment(t *testing.T) {
+	e, err := repro.RunExperiment("table1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Table.NumRows() == 0 {
+		t.Fatal("empty Table I")
+	}
+}
