@@ -7,23 +7,39 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"image/png"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/quality"
 )
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: imgdiff <a.png> <b.png>")
+	prof := obs.AddProfileFlags(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: imgdiff [flags] <a.png> <b.png>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	a, wa, ha, err := load(os.Args[1])
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "imgdiff:", err)
+		}
+	}()
+	a, wa, ha, err := load(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	b, wb, hb, err := load(os.Args[2])
+	b, wb, hb, err := load(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}

@@ -17,15 +17,26 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, or one of "+strings.Join(repro.ExperimentNames(), ", "))
-		set    = flag.String("set", "quick", "workload set: mini, quick, full")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp     = flag.String("exp", "all", "experiment: all, or one of "+strings.Join(repro.ExperimentNames(), ", "))
+		set     = flag.String("set", "quick", "workload set: mini, quick, full")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = flag.Bool("json", false, "emit the experiment set as JSON instead of text")
 	)
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+		}
+	}()
 
 	var wls []repro.WorkloadSpec
 	switch strings.ToLower(*set) {
@@ -43,11 +54,22 @@ func main() {
 	if *exp != "all" {
 		names = []string{*exp}
 	}
+	doc := obs.NewExperimentSet(strings.ToLower(*set))
+	failed := false
 	for _, name := range names {
 		start := time.Now()
 		e, err := repro.RunExperiment(name, wls)
 		if err != nil {
-			fatal(err)
+			// Keep running the remaining experiments; report the failure
+			// and exit non-zero at the end.
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			doc.Errors = append(doc.Errors, fmt.Sprintf("%s: %v", name, err))
+			failed = true
+			continue
+		}
+		doc.Experiments = append(doc.Experiments, e.JSONResult())
+		if *jsonOut {
+			continue
 		}
 		if *csvOut {
 			fmt.Printf("# %s\n%s\n", e.Name, e.Table.CSV())
@@ -62,6 +84,17 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		if err := doc.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if failed {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+		}
+		os.Exit(1)
 	}
 }
 

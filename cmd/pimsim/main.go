@@ -16,6 +16,7 @@ import (
 	"repro"
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,8 +32,20 @@ func main() {
 		frames     = flag.Int("frames", 1, "number of frames to render")
 		pngPath    = flag.String("png", "", "write the rendered frame to this PNG file")
 		compare    = flag.Bool("psnr", false, "also render the baseline and report PSNR against it")
+		jsonOut    = flag.Bool("json", false, "emit the metrics snapshot as JSON instead of text")
+		traceFile  = flag.String("tracefile", "", "write a cycle-timeline trace (Chrome trace-event JSON) to this file")
+		traceCap   = flag.Int("tracecap", 0, "trace ring capacity in events (0 = default)")
 	)
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "pimsim:", err)
+		}
+	}()
 
 	design, err := parseDesign(*designStr)
 	if err != nil {
@@ -51,9 +64,57 @@ func main() {
 		HMCCubes:       *cubes,
 		Frames:         *frames,
 	}
+	var tracer *repro.Tracer
+	if *traceFile != "" {
+		tracer = repro.NewTracer(*traceCap)
+		opts.Trace = tracer
+	}
 	res, err := repro.Simulate(wl, opts)
 	if err != nil {
 		fatal(err)
+	}
+
+	if tracer != nil {
+		out, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(out); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "pimsim: trace ring wrapped, %d oldest events dropped (raise -tracecap)\n", d)
+		}
+	}
+
+	// -psnr renders the baseline for comparison; in JSON mode the result
+	// becomes a gauge instead of a text line.
+	psnr, havePSNR := 0.0, false
+	if *compare && design != config.Baseline {
+		base, err := repro.Simulate(wl, repro.Options{Design: config.Baseline, Frames: *frames})
+		if err != nil {
+			fatal(err)
+		}
+		if psnr, err = repro.PSNR(base.Image, res.Image); err != nil {
+			fatal(err)
+		}
+		havePSNR = true
+	}
+
+	if *jsonOut {
+		snap := res.Metrics()
+		if havePSNR {
+			snap.Gauge("quality.psnr_vs_baseline_db", psnr)
+		}
+		if err := snap.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		writePNG(res, *pngPath, os.Stderr)
+		return
 	}
 
 	f := res.Frame
@@ -73,29 +134,31 @@ func main() {
 		fmt.Printf("offloads        %d (angle recalcs %d)\n", p.OffloadPackets, p.AngleRecalcs)
 	}
 
-	if *compare && design != config.Baseline {
-		base, err := repro.Simulate(wl, repro.Options{Design: config.Baseline, Frames: *frames})
-		if err != nil {
-			fatal(err)
-		}
-		psnr, err := repro.PSNR(base.Image, res.Image)
-		if err != nil {
-			fatal(err)
-		}
+	if havePSNR {
 		fmt.Printf("PSNR vs base    %.1f dB\n", psnr)
 	}
 
-	if *pngPath != "" {
-		out, err := os.Create(*pngPath)
-		if err != nil {
-			fatal(err)
-		}
-		defer out.Close()
-		if err := repro.WritePNG(out, res.Image, f.Width, f.Height); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("frame written   %s\n", *pngPath)
+	writePNG(res, *pngPath, os.Stdout)
+}
+
+// writePNG dumps the rendered frame when a path was given; the status note
+// goes to `note` (stderr in JSON mode, so stdout stays a single document).
+func writePNG(res *repro.Result, path string, note *os.File) {
+	if path == "" {
+		return
 	}
+	out, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := repro.WritePNG(out, res.Image, res.Frame.Width, res.Frame.Height); err != nil {
+		out.Close()
+		fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(note, "frame written   %s\n", path)
 }
 
 func parseDesign(s string) (repro.Design, error) {
@@ -115,11 +178,15 @@ func parseDesign(s string) (repro.Design, error) {
 
 func energyBreakdown(res *repro.Result) string {
 	b := res.Energy
+	total := b.Total()
+	if total == 0 {
+		return "no energy recorded"
+	}
 	return fmt.Sprintf("shader %.1f%%, texture %.1f%%, memory %.1f%%, background %.1f%%",
-		100*b.Shader/b.Total(),
-		100*(b.TextureGPU+b.Caches+b.PIMLogic)/b.Total(),
-		100*(b.Links+b.DRAM)/b.Total(),
-		100*(b.Background+b.Leakage)/b.Total())
+		100*b.Shader/total,
+		100*(b.TextureGPU+b.Caches+b.PIMLogic)/total,
+		100*(b.Links+b.DRAM)/total,
+		100*(b.Background+b.Leakage)/total)
 }
 
 func fatal(err error) {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/obs"
 	"repro/internal/texture"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -28,7 +29,16 @@ func main() {
 		outDir = flag.String("out", ".", "output directory")
 		verify = flag.String("verify", "", "verify an existing trace file and exit")
 	)
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+		}
+	}()
 
 	if *verify != "" {
 		if err := verifyTrace(*verify); err != nil {

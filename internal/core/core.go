@@ -13,6 +13,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/hmc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/scene"
 	"repro/internal/texture"
 	"repro/internal/tfim"
@@ -43,6 +44,11 @@ type Options struct {
 	// HMCCubes sets the number of HMC cubes attached to the GPU (Section
 	// V-E's multi-HMC scenario); 0 or 1 means a single cube.
 	HMCCubes int
+	// Trace, when non-nil, receives cycle-timeline spans from every
+	// instrumented unit (pipeline stages, texture units, offload packages,
+	// DRAM/HMC bandwidth meters). Tracing never perturbs simulated cycle
+	// counts. Export with Trace.WriteChromeTrace.
+	Trace *obs.Tracer
 }
 
 // Result is the outcome of one run.
@@ -57,7 +63,8 @@ type Result struct {
 	// Image is the last rendered frame.
 	Image []uint32
 
-	path gpu.TexturePath
+	path    gpu.TexturePath
+	backend mem.Backend
 }
 
 // PathDebug returns the texture path's diagnostic string, if it has one.
@@ -196,6 +203,15 @@ func RunScene(sc *scene.Scene, wl workload.Workload, opts Options) (*Result, err
 func runScene(sc *scene.Scene, wl workload.Workload, cfg config.Config, opts Options) (*Result, error) {
 	backend, path, cube := buildDesign(cfg, opts.HMCCubes)
 	pipe := gpu.NewPipeline(cfg, wl.Width, wl.Height, backend, path)
+	if opts.Trace != nil {
+		pipe.SetTracer(opts.Trace)
+		if ta, ok := backend.(obs.TraceAttacher); ok {
+			ta.SetTracer(opts.Trace)
+		}
+		if ta, ok := path.(obs.TraceAttacher); ok {
+			ta.SetTracer(opts.Trace)
+		}
+	}
 
 	frames := opts.Frames
 	if frames < 1 {
@@ -247,5 +263,6 @@ func runScene(sc *scene.Scene, wl workload.Workload, cfg config.Config, opts Opt
 		Energy:   bd,
 		Image:    acc.Image,
 		path:     path,
+		backend:  backend,
 	}, nil
 }

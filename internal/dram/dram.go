@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -131,6 +132,7 @@ type GDDR5 struct {
 	stats     Stats
 	cyclesPer float64 // GPU cycles per memory cycle
 	busyMax   int64
+	tracer    *obs.Tracer
 }
 
 // New builds a GDDR5 backend; panics on invalid configuration.
@@ -168,6 +170,36 @@ func (g *GDDR5) Reset() {
 	}
 	g.stats = Stats{}
 	g.busyMax = 0
+	g.attachMeterTraces()
+}
+
+// SetTracer routes channel data-bus reservations into the tracer as cycle
+// spans (one track per channel). Implements obs.TraceAttacher; survives
+// Reset.
+func (g *GDDR5) SetTracer(t *obs.Tracer) {
+	g.tracer = t
+	g.attachMeterTraces()
+}
+
+func (g *GDDR5) attachMeterTraces() {
+	if g.tracer == nil {
+		return
+	}
+	for i := range g.chans {
+		g.chans[i].bus.AttachTrace(g.tracer, fmt.Sprintf("dram.ch%02d.bus", i))
+	}
+}
+
+// UtilizationHistograms implements obs.HistogramSource: per-channel
+// data-bus utilization over time.
+func (g *GDDR5) UtilizationHistograms(bins int) map[string][]float64 {
+	out := map[string][]float64{}
+	for i := range g.chans {
+		if h := g.chans[i].bus.UtilizationHistogram(bins); h != nil {
+			out[fmt.Sprintf("dram.ch%02d.bus", i)] = h
+		}
+	}
+	return out
 }
 
 // Stats returns a copy of the counters.

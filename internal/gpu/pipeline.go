@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/raster"
 	"repro/internal/scene"
 	"repro/internal/shader"
@@ -62,6 +63,11 @@ type Pipeline struct {
 	curCluster int
 
 	scene *scene.Scene
+
+	// trace, when attached, records stage/tile/draw spans; clusterTrack
+	// caches the per-cluster track labels so the hot path does not format.
+	trace        *obs.Tracer
+	clusterTrack []string
 }
 
 // NewPipeline builds a pipeline for a WxH target. Backend and Path are
@@ -100,6 +106,17 @@ func NewPipeline(cfg config.Config, w, h int, backend mem.Backend, path TextureP
 
 // Framebuffer exposes the render target (for image dumps).
 func (p *Pipeline) Framebuffer() *Framebuffer { return p.fb }
+
+// SetTracer attaches a cycle-timeline tracer (obs.TraceAttacher). The
+// tracer only observes timestamps the timing model already produced, so
+// simulated cycle counts are identical with and without it.
+func (p *Pipeline) SetTracer(t *obs.Tracer) {
+	p.trace = t
+	p.clusterTrack = make([]string, p.Cfg.GPU.Clusters)
+	for i := range p.clusterTrack {
+		p.clusterTrack[i] = fmt.Sprintf("cluster%02d", i)
+	}
+}
 
 // RenderFrame renders frame index `frame` of the scene and returns its
 // measurements. Texture addresses must already be assigned
@@ -169,6 +186,14 @@ func (p *Pipeline) RenderFrame(s *scene.Scene, frame int) (*FrameResult, error) 
 	total := resolveDone
 	if b := p.Backend.BusyUntil(); b > total {
 		total = b
+	}
+	if p.trace.On() {
+		p.trace.Span("pipeline", "geometry", 0, geomDone)
+		p.trace.Span("pipeline", "fragment", fragStart, endCompute)
+		p.trace.Span("pipeline", "rop-flush", endCompute, flushDone)
+		p.trace.Span("pipeline", "resolve", flushDone, resolveDone)
+		p.trace.SpanArg("frame", fmt.Sprintf("frame %d", frame), 0, total,
+			"fragments", int64(p.activity.FragmentCount))
 	}
 
 	res := &FrameResult{
@@ -270,19 +295,58 @@ func (p *Pipeline) runFragments(s *scene.Scene, view vmath.Mat4, fragStart int64
 		p.cursor[c] = setup / float64(len(p.cursor))
 	}
 
+	// Draw-call spans group consecutive same-texture triangles; tile spans
+	// cover one cluster's work on one tile batch. Both are derived from the
+	// per-cluster compute cursors the timing model advances anyway.
+	tracing := p.trace.On()
+	maxCursor := func() int64 {
+		m := 0.0
+		for _, c := range p.cursor {
+			if c > m {
+				m = c
+			}
+		}
+		return fragStart + int64(m)
+	}
+	drawTex := -1
+	var drawStart int64
+	var drawTris int64
+	endDraw := func() {
+		if drawTex >= 0 && drawTris > 0 {
+			p.trace.SpanArg("draws", fmt.Sprintf("draw tex%d", drawTex),
+				drawStart, maxCursor(), "triangles", drawTris)
+		}
+	}
+
 	nextCluster := 0
 	for _, tri := range s.Mesh.Triangles {
+		if tracing && tri.TexID != drawTex {
+			endDraw()
+			drawTex = tri.TexID
+			drawStart = maxCursor()
+			drawTris = 0
+		}
+		drawTris++
 		tv := [3]raster.Vertex{verts[tri.V[0]], verts[tri.V[1]], verts[tri.V[2]]}
 		for _, st := range p.rast.Setup(tv, tri.TexID) {
 			stCopy := st
 			for _, tile := range stCopy.Tiles() {
 				cluster := nextCluster
 				nextCluster = (nextCluster + 1) % p.Cfg.GPU.Clusters
+				tileStart := fragStart + int64(p.cursor[cluster])
 				p.rast.ScanTile(&stCopy, tile, func(f *raster.Fragment) {
 					p.shadeFragment(f, cluster, fragStart)
 				})
+				if tracing {
+					if tileEnd := fragStart + int64(p.cursor[cluster]); tileEnd > tileStart {
+						p.trace.Span(p.clusterTrack[cluster], "tile", tileStart, tileEnd)
+					}
+				}
 			}
 		}
+	}
+	if tracing {
+		endDraw()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Cube is the interface the texture-filtering-in-memory paths program
@@ -65,6 +66,29 @@ func NewArray(n int, cfg Config) *Array {
 
 // NumCubes returns the number of cubes.
 func (a *Array) NumCubes() int { return len(a.cubes) }
+
+// SetTracer implements obs.TraceAttacher, giving each cube its own set of
+// timeline tracks ("cube0.hmc.link.tx", ...).
+func (a *Array) SetTracer(t *obs.Tracer) {
+	for i, c := range a.cubes {
+		c.SetTrace(t, fmt.Sprintf("cube%d.", i))
+	}
+}
+
+// UtilizationHistograms implements obs.HistogramSource across all cubes.
+func (a *Array) UtilizationHistograms(bins int) map[string][]float64 {
+	out := map[string][]float64{}
+	for i, c := range a.cubes {
+		prefix := fmt.Sprintf("cube%d.", i)
+		for name, hist := range c.UtilizationHistograms(bins) {
+			if c.tracePrefix == "" {
+				name = prefix + name
+			}
+			out[name] = hist
+		}
+	}
+	return out
+}
 
 func (a *Array) route(addr uint64) *HMC {
 	return a.cubes[(addr>>arrayGranularityBits)%uint64(len(a.cubes))]

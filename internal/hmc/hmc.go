@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -144,6 +145,9 @@ type HMC struct {
 	linkBPC   float64 // bytes per GPU cycle, aggregate per direction
 	tsvBPC    float64 // bytes per GPU cycle per vault
 	busyMax   int64
+
+	tracer      *obs.Tracer
+	tracePrefix string // distinguishes cubes within an Array
 }
 
 // New builds a cube; panics on invalid configuration.
@@ -191,6 +195,48 @@ func (h *HMC) Reset() {
 	h.linkRx = sim.NewBandwidthMeter(32, h.linkBPC)
 	h.stats = Stats{}
 	h.busyMax = 0
+	h.attachMeterTraces()
+}
+
+// SetTracer routes link and vault-TSV reservations into the tracer as
+// cycle spans. Implements obs.TraceAttacher; survives Reset.
+func (h *HMC) SetTracer(t *obs.Tracer) { h.SetTrace(t, "") }
+
+// SetTrace attaches a tracer with a track prefix ("cube0." etc.) so cubes
+// in an Array keep distinct timeline rows.
+func (h *HMC) SetTrace(t *obs.Tracer, prefix string) {
+	h.tracer = t
+	h.tracePrefix = prefix
+	h.attachMeterTraces()
+}
+
+func (h *HMC) attachMeterTraces() {
+	if h.tracer == nil {
+		return
+	}
+	h.linkTx.AttachTrace(h.tracer, h.tracePrefix+"hmc.link.tx")
+	h.linkRx.AttachTrace(h.tracer, h.tracePrefix+"hmc.link.rx")
+	for i := range h.vaults {
+		h.vaults[i].tsv.AttachTrace(h.tracer, fmt.Sprintf("%shmc.vault%02d.tsv", h.tracePrefix, i))
+	}
+}
+
+// UtilizationHistograms implements obs.HistogramSource: link and per-vault
+// TSV utilization over time.
+func (h *HMC) UtilizationHistograms(bins int) map[string][]float64 {
+	out := map[string][]float64{}
+	if hist := h.linkTx.UtilizationHistogram(bins); hist != nil {
+		out[h.tracePrefix+"hmc.link.tx"] = hist
+	}
+	if hist := h.linkRx.UtilizationHistogram(bins); hist != nil {
+		out[h.tracePrefix+"hmc.link.rx"] = hist
+	}
+	for i := range h.vaults {
+		if hist := h.vaults[i].tsv.UtilizationHistogram(bins); hist != nil {
+			out[fmt.Sprintf("%shmc.vault%02d.tsv", h.tracePrefix, i)] = hist
+		}
+	}
+	return out
 }
 
 // Stats returns a copy of the counters.

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// SchemaVersion identifies the Snapshot JSON schema. Bump only on
+// incompatible changes; additions of new counter/gauge names are
+// compatible (consumers must tolerate unknown names).
+const SchemaVersion = "pim-render/metrics/v1"
+
+// ExperimentSchemaVersion identifies the ExperimentSet JSON schema
+// emitted by paperbench -json.
+const ExperimentSchemaVersion = "pim-render/experiments/v1"
+
+// Snapshot is one run's metrics in a stable machine-readable form: the
+// unified view over the simulator's counter sets, traffic accounting,
+// energy breakdown and bandwidth-meter histograms. All maps marshal with
+// sorted keys (encoding/json), so the output is byte-stable for equal
+// inputs.
+type Snapshot struct {
+	// Schema is always SchemaVersion.
+	Schema string `json:"schema"`
+	// Kind labels what was measured ("run", "frame", ...).
+	Kind string `json:"kind"`
+	// Workload and Design identify the configuration, when applicable.
+	Workload string `json:"workload,omitempty"`
+	Design   string `json:"design,omitempty"`
+	// Cycles is the run's total simulated GPU cycles.
+	Cycles int64 `json:"cycles,omitempty"`
+	// Counters holds monotonically accumulated event counts.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges holds derived point-in-time values (rates, joules, means).
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms holds binned series (e.g. bandwidth-meter utilization
+	// over time, one value per bin in [0,1]).
+	Histograms map[string][]float64 `json:"histograms,omitempty"`
+}
+
+// NewSnapshot builds an empty snapshot of the given kind.
+func NewSnapshot(kind string) *Snapshot {
+	return &Snapshot{Schema: SchemaVersion, Kind: kind}
+}
+
+// Counter sets a counter value.
+func (s *Snapshot) Counter(name string, v uint64) {
+	if s.Counters == nil {
+		s.Counters = map[string]uint64{}
+	}
+	s.Counters[name] = v
+}
+
+// Gauge sets a gauge value. NaN and infinities are stored as 0 so the
+// snapshot always marshals to valid JSON.
+func (s *Snapshot) Gauge(name string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	s.Gauges[name] = v
+}
+
+// Histogram stores a binned series under the given name; empty series are
+// dropped. Non-finite bins are sanitized to 0.
+func (s *Snapshot) Histogram(name string, bins []float64) {
+	if len(bins) == 0 {
+		return
+	}
+	clean := make([]float64, len(bins))
+	for i, b := range bins {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			b = 0
+		}
+		clean[i] = b
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string][]float64{}
+	}
+	s.Histograms[name] = clean
+}
+
+// AddSet folds a stats.Set's counters into the snapshot under an optional
+// "prefix." namespace, unifying ad-hoc counter sets behind the one
+// registry.
+func (s *Snapshot) AddSet(prefix string, set *stats.Set) {
+	if set == nil {
+		return
+	}
+	if prefix != "" {
+		prefix += "."
+	}
+	for _, name := range set.Names() {
+		s.Counter(prefix+name, set.Get(name))
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ExperimentResult is one regenerated figure/table in machine-readable
+// form (the rows mirror the printed stats.Table exactly).
+type ExperimentResult struct {
+	Name    string             `json:"name"`
+	Title   string             `json:"title,omitempty"`
+	Columns []string           `json:"columns"`
+	Rows    [][]string         `json:"rows"`
+	Summary map[string]float64 `json:"summary,omitempty"`
+}
+
+// ExperimentSet is the paperbench -json output: every experiment that ran,
+// plus the names of any that failed (Errors non-empty means the process
+// exited non-zero).
+type ExperimentSet struct {
+	Schema      string             `json:"schema"`
+	Set         string             `json:"set,omitempty"`
+	Experiments []ExperimentResult `json:"experiments"`
+	Errors      []string           `json:"errors,omitempty"`
+}
+
+// NewExperimentSet builds an empty experiment-set document for the named
+// workload set.
+func NewExperimentSet(set string) *ExperimentSet {
+	return &ExperimentSet{
+		Schema:      ExperimentSchemaVersion,
+		Set:         set,
+		Experiments: []ExperimentResult{},
+	}
+}
+
+// WriteJSON writes the experiment set as indented JSON.
+func (e *ExperimentSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

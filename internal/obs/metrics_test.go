@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := NewSnapshot("run")
+	s.Workload = "doom3-640x480"
+	s.Design = "A-TFIM"
+	s.Cycles = 123456
+	s.Counter("traffic.texture.read.bytes", 1<<20)
+	s.Counter("activity.fragments", 307200)
+	s.Gauge("energy.total_j", 0.0123)
+	s.Histogram("hmc.link.tx", []float64{0.1, 0.9, 0.5})
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, *s)
+	}
+	if back.Schema != SchemaVersion {
+		t.Errorf("schema %q, want %q", back.Schema, SchemaVersion)
+	}
+}
+
+func TestSnapshotStableOutput(t *testing.T) {
+	build := func() []byte {
+		s := NewSnapshot("run")
+		// Insert in shuffled order; JSON map keys marshal sorted.
+		s.Counter("zzz", 1)
+		s.Counter("aaa", 2)
+		s.Gauge("mid", 3)
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshot JSON is not byte-stable")
+	}
+	if strings.Index(string(a), `"aaa"`) > strings.Index(string(a), `"zzz"`) {
+		t.Fatal("counter keys not sorted")
+	}
+}
+
+func TestSnapshotSanitizesNonFinite(t *testing.T) {
+	s := NewSnapshot("run")
+	s.Gauge("nan", math.NaN())
+	s.Gauge("inf", math.Inf(1))
+	s.Histogram("h", []float64{math.NaN(), 1})
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("non-finite values broke marshaling: %v", err)
+	}
+	if s.Gauges["nan"] != 0 || s.Gauges["inf"] != 0 || s.Histograms["h"][0] != 0 {
+		t.Error("non-finite values not sanitized to 0")
+	}
+}
+
+func TestSnapshotAddSet(t *testing.T) {
+	var set stats.Set
+	set.Counter("rowhits").Add(7)
+	set.Counter("rowmisses").Add(3)
+	s := NewSnapshot("run")
+	s.AddSet("dram", &set)
+	if s.Counters["dram.rowhits"] != 7 || s.Counters["dram.rowmisses"] != 3 {
+		t.Errorf("AddSet did not fold counters: %v", s.Counters)
+	}
+	s.AddSet("", &set)
+	if s.Counters["rowhits"] != 7 {
+		t.Errorf("unprefixed AddSet missing: %v", s.Counters)
+	}
+	s.AddSet("x", nil) // must not panic
+}
+
+func TestExperimentSetRoundTrip(t *testing.T) {
+	e := NewExperimentSet("quick")
+	e.Experiments = append(e.Experiments, ExperimentResult{
+		Name:    "fig10",
+		Title:   "Fig 10: texture filtering speedup",
+		Columns: []string{"workload", "speedup"},
+		Rows:    [][]string{{"doom3-640x480", "2.97"}},
+		Summary: map[string]float64{"geomean": 2.5},
+	})
+	e.Errors = append(e.Errors, "fig99: unknown experiment")
+
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ExperimentSet
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if !reflect.DeepEqual(*e, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, *e)
+	}
+	if back.Schema != ExperimentSchemaVersion {
+		t.Errorf("schema %q, want %q", back.Schema, ExperimentSchemaVersion)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// ProfileFlags bundles the Go profiling switches every cmd/ binary shares:
+// -cpuprofile, -memprofile and -trace (the Go runtime trace, distinct from
+// the simulator's cycle-timeline -tracefile). Typical use:
+//
+//	prof := obs.AddProfileFlags(flag.CommandLine)
+//	flag.Parse()
+//	if err := prof.Start(); err != nil { ... }
+//	defer prof.Stop()
+type ProfileFlags struct {
+	// CPUProfile, MemProfile and RuntimeTrace are the output paths
+	// (empty = disabled).
+	CPUProfile   string
+	MemProfile   string
+	RuntimeTrace string
+
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// AddProfileFlags registers the three profiling flags on fs and returns
+// the holder their values are parsed into.
+func AddProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	p := &ProfileFlags{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&p.RuntimeTrace, "trace", "", "write a Go runtime trace to this file")
+	return p
+}
+
+// Start begins CPU profiling and runtime tracing as requested. It is a
+// no-op when no profiling flag was set.
+func (p *ProfileFlags) Start() error {
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if p.RuntimeTrace != "" {
+		f, err := os.Create(p.RuntimeTrace)
+		if err != nil {
+			p.stopCPU()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			p.stopCPU()
+			return fmt.Errorf("trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	return nil
+}
+
+func (p *ProfileFlags) stopCPU() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+// Stop ends the profiles started by Start and, if requested, writes the
+// heap profile. The first error encountered is returned; all outputs are
+// still flushed.
+func (p *ProfileFlags) Stop() error {
+	var firstErr error
+	p.stopCPU()
+	if p.traceFile != nil {
+		rtrace.Stop()
+		if err := p.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.traceFile = nil
+	}
+	if p.MemProfile != "" {
+		f, err := os.Create(p.MemProfile)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("memprofile: %w", err)
+			}
+			return firstErr
+		}
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

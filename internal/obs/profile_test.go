@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileFlagsRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := AddProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "c.prof", "-memprofile", "m.prof", "-trace", "t.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUProfile != "c.prof" || p.MemProfile != "m.prof" || p.RuntimeTrace != "t.out" {
+		t.Errorf("flags not parsed: %+v", p)
+	}
+}
+
+func TestProfileStartStopDisabled(t *testing.T) {
+	p := &ProfileFlags{}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := &ProfileFlags{
+		CPUProfile:   filepath.Join(dir, "cpu.prof"),
+		MemProfile:   filepath.Join(dir, "mem.prof"),
+		RuntimeTrace: filepath.Join(dir, "trace.out"),
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{p.CPUProfile, p.MemProfile, p.RuntimeTrace} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("missing output %s: %v", path, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("empty profile output %s", path)
+		}
+	}
+	// Stop again must be harmless.
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.On() {
+		t.Fatal("nil tracer reports On")
+	}
+	// None of these may panic.
+	tr.Span("a", "b", 0, 10)
+	tr.SpanArg("a", "b", 0, 10, "bytes", 64)
+	tr.Instant("a", "b", 5)
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer holds state")
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Span("pipeline", "geometry", 0, 100)
+	tr.SpanArg("dram.ch00.bus", "xfer", 50, 120, "bytes", 64)
+	tr.Instant("pipeline", "marker", 60)
+
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	if ev[0] != (Event{Track: "pipeline", Name: "geometry", Start: 0, End: 100}) {
+		t.Errorf("unexpected first event %+v", ev[0])
+	}
+	if ev[1].ArgName != "bytes" || ev[1].Arg != 64 {
+		t.Errorf("arg not recorded: %+v", ev[1])
+	}
+	if ev[2].Start != ev[2].End {
+		t.Errorf("instant has duration: %+v", ev[2])
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := int64(0); i < 10; i++ {
+		tr.Span("t", "e", i, i+1)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring holds %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", tr.Dropped())
+	}
+	ev := tr.Events()
+	// The four newest events survive, oldest-first.
+	for i, e := range ev {
+		if want := int64(6 + i); e.Start != want {
+			t.Errorf("event %d start %d, want %d", i, e.Start, want)
+		}
+	}
+
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset did not clear the ring")
+	}
+	tr.Span("t", "e", 1, 2)
+	if tr.Len() != 1 {
+		t.Fatal("tracer unusable after reset")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Span("pipeline", "geometry", 0, 100)
+	tr.Span("cluster00", "tile", 10, 40)
+	tr.SpanArg("hmc.link.tx", "xfer", 5, 25, "bytes", 128)
+	// A span recorded with end < start must not emit a negative duration.
+	tr.Span("cluster00", "degenerate", 50, 40)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var out ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+
+	tracks := map[string]bool{}
+	spans := 0
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				tracks[e.Args["name"].(string)] = true
+			}
+		case "X":
+			spans++
+			if e.Dur < 0 {
+				t.Errorf("negative duration in %+v", e)
+			}
+			if e.Tid == 0 {
+				t.Errorf("span with unassigned tid: %+v", e)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans != 4 {
+		t.Errorf("got %d spans, want 4", spans)
+	}
+	for _, want := range []string{"pipeline", "cluster00", "hmc.link.tx"} {
+		if !tracks[want] {
+			t.Errorf("missing thread_name metadata for track %q", want)
+		}
+	}
+}
+
+func TestChromeTraceDeterministicTids(t *testing.T) {
+	build := func() []byte {
+		tr := NewTracer(0)
+		tr.Span("b", "x", 0, 1)
+		tr.Span("a", "y", 1, 2)
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("trace output is not deterministic")
+	}
+}

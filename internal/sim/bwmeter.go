@@ -11,6 +11,8 @@
 // event can use capacity that was genuinely idle at its own timestamp.
 package sim
 
+import "repro/internal/obs"
+
 // BandwidthMeter models a resource with a fixed byte-per-cycle capacity.
 // Time is divided into windows; each window holds Window*BytesPerCycle
 // bytes. Reserve places a transfer at the earliest window(s) with free
@@ -27,6 +29,10 @@ type BandwidthMeter struct {
 	next []int32
 	// totalBytes accumulates all reserved bytes (statistics).
 	totalBytes uint64
+
+	// tracer, when attached, records every reservation as a span on track.
+	tracer *obs.Tracer
+	track  string
 }
 
 // NewBandwidthMeter builds a meter; window must be positive.
@@ -42,6 +48,13 @@ func NewBandwidthMeter(window int64, bytesPerCycle float64) *BandwidthMeter {
 
 // TotalBytes returns all bytes reserved since the last Reset.
 func (m *BandwidthMeter) TotalBytes() uint64 { return m.totalBytes }
+
+// AttachTrace records every subsequent reservation as a cycle span on the
+// given track. A nil tracer detaches.
+func (m *BandwidthMeter) AttachTrace(t *obs.Tracer, track string) {
+	m.tracer = t
+	m.track = track
+}
 
 // Reset clears all reservations.
 func (m *BandwidthMeter) Reset() {
@@ -113,7 +126,39 @@ func (m *BandwidthMeter) Reserve(t int64, bytes int) int64 {
 	if done < minDone {
 		done = minDone
 	}
+	if m.tracer.On() {
+		m.tracer.SpanArg(m.track, "xfer", t, done, "bytes", int64(bytes))
+	}
 	return done
+}
+
+// UtilizationHistogram divides the meter's busy span into up to `bins`
+// equal groups of accounting windows and returns each group's
+// used/capacity fraction in [0, 1]. Unlike Utilization, which collapses
+// the whole run to one number, the histogram exposes bursts: a meter that
+// idles half the frame and saturates the other half reports ~[1, 0]
+// rather than 0.5. When the span holds fewer windows than requested bins,
+// one bin per window is returned; an unused meter returns nil.
+func (m *BandwidthMeter) UtilizationHistogram(bins int) []float64 {
+	n := len(m.used)
+	if bins <= 0 || n == 0 {
+		return nil
+	}
+	if bins > n {
+		bins = n
+	}
+	capPerWin := m.BytesPerCycle * float64(m.Window)
+	out := make([]float64, bins)
+	for i := 0; i < bins; i++ {
+		lo := i * n / bins
+		hi := (i + 1) * n / bins
+		var used float64
+		for _, u := range m.used[lo:hi] {
+			used += u
+		}
+		out[i] = used / (capPerWin * float64(hi-lo))
+	}
+	return out
 }
 
 // Utilization returns used/capacity over the busy span (diagnostics).

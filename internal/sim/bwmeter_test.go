@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/obs"
 )
 
 func TestReserveSerialization(t *testing.T) {
@@ -112,5 +114,86 @@ func TestPanicsOnBadParams(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+func TestUtilizationHistogramEmpty(t *testing.T) {
+	m := NewBandwidthMeter(8, 4)
+	if h := m.UtilizationHistogram(4); h != nil {
+		t.Fatalf("unused meter returned %v, want nil", h)
+	}
+	m.Reserve(0, 32)
+	if h := m.UtilizationHistogram(0); h != nil {
+		t.Fatalf("bins=0 returned %v, want nil", h)
+	}
+}
+
+func TestUtilizationHistogramClampsBins(t *testing.T) {
+	m := NewBandwidthMeter(8, 4) // 32 B per window
+	m.Reserve(0, 32)             // exactly one window
+	h := m.UtilizationHistogram(16)
+	if len(h) != 1 {
+		t.Fatalf("got %d bins for a 1-window span, want 1", len(h))
+	}
+	if h[0] != 1 {
+		t.Fatalf("saturated window reports %v, want 1", h[0])
+	}
+}
+
+func TestUtilizationHistogramExposesBursts(t *testing.T) {
+	m := NewBandwidthMeter(8, 4) // 32 B per window
+	// Saturate windows 0..3, leave 4..7 idle (reserve at cycle 56 grows the
+	// span to 8 windows with a tiny tail fill).
+	for w := 0; w < 4; w++ {
+		m.Reserve(int64(w*8), 32)
+	}
+	m.Reserve(56, 1)
+	h := m.UtilizationHistogram(2)
+	if len(h) != 2 {
+		t.Fatalf("got %d bins, want 2", len(h))
+	}
+	if h[0] != 1 {
+		t.Fatalf("busy half reports %v, want 1", h[0])
+	}
+	if h[1] >= 0.1 {
+		t.Fatalf("idle half reports %v, want ~0", h[1])
+	}
+	// The scalar Utilization collapses the same profile to ~0.5.
+	if u := m.Utilization(); u < 0.4 || u > 0.6 {
+		t.Fatalf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestUtilizationHistogramBounds(t *testing.T) {
+	m := NewBandwidthMeter(8, 4)
+	for i := 0; i < 50; i++ {
+		m.Reserve(int64(i*3), 7)
+	}
+	for bins := 1; bins <= 32; bins++ {
+		for i, v := range m.UtilizationHistogram(bins) {
+			if v < 0 || v > 1 {
+				t.Fatalf("bins=%d bin %d = %v, out of [0,1]", bins, i, v)
+			}
+		}
+	}
+}
+
+func TestAttachTraceRecordsReservations(t *testing.T) {
+	m := NewBandwidthMeter(8, 4)
+	tr := obs.NewTracer(16)
+	m.AttachTrace(tr, "bus")
+	m.Reserve(0, 32)
+	m.Reserve(8, 16)
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(ev))
+	}
+	if ev[0].Track != "bus" || ev[0].Arg != 32 {
+		t.Fatalf("unexpected first event %+v", ev[0])
+	}
+	m.AttachTrace(nil, "")
+	m.Reserve(16, 8)
+	if tr.Len() != 2 {
+		t.Fatalf("detached meter still recorded (len=%d)", tr.Len())
 	}
 }

@@ -1,0 +1,63 @@
+package stats
+
+import "sort"
+
+// Distribution collects individual float64 samples for percentile queries
+// (Summary keeps only moments; occupancy/latency diagnostics also need
+// tails). The zero value is ready to use.
+type Distribution struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe adds a sample.
+func (d *Distribution) Observe(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// N returns the number of samples observed.
+func (d *Distribution) N() int { return len(d.samples) }
+
+// Reset discards all samples.
+func (d *Distribution) Reset() {
+	d.samples = d.samples[:0]
+	d.sorted = false
+}
+
+func (d *Distribution) sortSamples() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100], clamped) with
+// linear interpolation between order statistics. An empty distribution
+// returns 0; a single sample is returned for every p.
+func (d *Distribution) Percentile(p float64) float64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return d.samples[0]
+	}
+	d.sortSamples()
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return d.samples[n-1]
+	}
+	return d.samples[lo]*(1-frac) + d.samples[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (d *Distribution) Median() float64 { return d.Percentile(50) }

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestCounterCreationOrderStability: Names() must report counters in the
+// exact order they were first created, independent of access pattern, and
+// the order must survive Merge and Reset.
+func TestCounterCreationOrderStability(t *testing.T) {
+	var s Set
+	names := []string{"zeta", "alpha", "mid", "alpha", "zeta", "beta"}
+	for _, n := range names {
+		s.Counter(n).Inc()
+	}
+	want := []string{"zeta", "alpha", "mid", "beta"}
+	if got := s.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("creation order %v, want %v", got, want)
+	}
+
+	// Reset keeps the registry and its order.
+	s.Reset()
+	if got := s.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("order after Reset %v, want %v", got, want)
+	}
+
+	// Merge appends unseen counters after existing ones, in the source's
+	// creation order.
+	var o Set
+	o.Counter("beta").Add(2)
+	o.Counter("new1").Add(3)
+	o.Counter("new0").Add(4)
+	s.Merge(&o)
+	want = []string{"zeta", "alpha", "mid", "beta", "new1", "new0"}
+	if got := s.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("order after Merge %v, want %v", got, want)
+	}
+	if s.Get("beta") != 2 || s.Get("new0") != 4 {
+		t.Fatalf("merge values wrong: beta=%d new0=%d", s.Get("beta"), s.Get("new0"))
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	var s Set
+	s.Counter("c.first").Add(10)
+	s.Counter("a.second").Add(20)
+	s.Counter("b.third") // zero-valued counters must survive too
+
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var back Set
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Names(), s.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("order lost in round trip: %v, want %v", got, want)
+	}
+	for _, n := range s.Names() {
+		if back.Get(n) != s.Get(n) {
+			t.Errorf("counter %s = %d, want %d", n, back.Get(n), s.Get(n))
+		}
+	}
+
+	// Marshaling must be byte-stable.
+	data2, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("Set JSON not deterministic")
+	}
+
+	// An empty set round-trips to an empty array, not null-breakage.
+	var empty Set
+	data, err = json.Marshal(&empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Errorf("empty set marshals to %s, want []", data)
+	}
+	var backEmpty Set
+	if err := json.Unmarshal(data, &backEmpty); err != nil {
+		t.Fatal(err)
+	}
+	if len(backEmpty.Names()) != 0 {
+		t.Errorf("empty round trip produced counters: %v", backEmpty.Names())
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	var d Distribution
+	// Empty distribution.
+	if got := d.Percentile(50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	if d.N() != 0 {
+		t.Errorf("empty N = %d", d.N())
+	}
+
+	// Single sample: every percentile returns it.
+	d.Observe(42)
+	for _, p := range []float64{-10, 0, 50, 100, 250} {
+		if got := d.Percentile(p); got != 42 {
+			t.Errorf("single-sample P%v = %v, want 42", p, got)
+		}
+	}
+
+	// Two samples: interpolation and clamping.
+	d.Observe(44)
+	if got := d.Percentile(0); got != 42 {
+		t.Errorf("P0 = %v, want 42", got)
+	}
+	if got := d.Percentile(100); got != 44 {
+		t.Errorf("P100 = %v, want 44", got)
+	}
+	if got := d.Percentile(50); math.Abs(got-43) > 1e-9 {
+		t.Errorf("P50 = %v, want 43", got)
+	}
+	if got := d.Percentile(-5); got != 42 {
+		t.Errorf("P-5 = %v, want clamp to 42", got)
+	}
+	if got := d.Percentile(500); got != 44 {
+		t.Errorf("P500 = %v, want clamp to 44", got)
+	}
+
+	// Observing after a query must invalidate the sorted cache.
+	d.Observe(40)
+	if got := d.Percentile(0); got != 40 {
+		t.Errorf("P0 after new min = %v, want 40", got)
+	}
+	if got := d.Median(); math.Abs(got-42) > 1e-9 {
+		t.Errorf("median = %v, want 42", got)
+	}
+
+	d.Reset()
+	if d.N() != 0 || d.Percentile(50) != 0 {
+		t.Error("Reset did not clear samples")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{10, 20, 30, 40, 50} {
+		d.Observe(v)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {12.5, 15},
+	}
+	for _, c := range cases {
+		if got := d.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestTableRows(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("x", "1")
+	tab.AddRow("y")
+	rows := tab.Rows()
+	want := [][]string{{"x", "1"}, {"y", ""}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("Rows() = %v, want %v", rows, want)
+	}
+	// Mutating the copy must not affect the table.
+	rows[0][0] = "mutated"
+	if tab.Rows()[0][0] != "x" {
+		t.Fatal("Rows() returned aliased storage")
+	}
+}

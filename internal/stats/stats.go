@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -80,6 +81,36 @@ func (s *Set) String() string {
 		fmt.Fprintf(&b, "%s=%d\n", name, s.counters[name].Value)
 	}
 	return b.String()
+}
+
+// counterJSON is the wire form of one counter: an array of these keeps
+// creation order across a JSON round trip (object keys would not).
+type counterJSON struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// MarshalJSON encodes the set as an array of {name, value} pairs in
+// creation order, so the snapshot schema is stable and order-preserving.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	out := make([]counterJSON, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, counterJSON{Name: name, Value: s.counters[name].Value})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON rebuilds the registry from the array form, preserving the
+// encoded order. Existing counters are merged (matching Merge semantics).
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var in []counterJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	for _, c := range in {
+		s.Counter(c.Name).Add(c.Value)
+	}
+	return nil
 }
 
 // Summary aggregates a stream of float64 samples.
@@ -221,6 +252,17 @@ func (t *Table) AddRowF(label string, vals ...float64) {
 
 // NumRows returns the number of data rows added so far.
 func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the data rows (machine-readable export).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		row := make([]string, len(r))
+		copy(row, r)
+		out[i] = row
+	}
+	return out
+}
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {

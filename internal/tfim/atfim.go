@@ -8,6 +8,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/hmc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/texture"
 )
 
@@ -54,6 +55,9 @@ type ATFIMPath struct {
 
 	// Offload stage-latency diagnostics (cycles summed per stage).
 	dbgPTBWait, dbgLinkUp, dbgVault, dbgLinkDown int64
+
+	trace        *obs.Tracer
+	offloadTrack []string
 }
 
 // parentMiss records one parent texel that must be computed in memory,
@@ -107,6 +111,14 @@ func NewATFIMPath(cfg config.Config, cube hmc.Cube) *ATFIMPath {
 
 // Name implements gpu.TexturePath.
 func (a *ATFIMPath) Name() string { return "a-tfim" }
+
+// SetTracer implements obs.TraceAttacher: every offload package round trip
+// (Offloading Unit -> Texel Generator -> vaults -> Combination Unit ->
+// response) becomes one span on its texture unit's offload track.
+func (a *ATFIMPath) SetTracer(t *obs.Tracer) {
+	a.trace = t
+	a.offloadTrack = unitTracks("offload", len(a.units))
+}
 
 // Sample implements gpu.TexturePath: the Fig. 7(B)/Fig. 9 walkthrough.
 func (a *ATFIMPath) Sample(now int64, req *gpu.TexRequest) gpu.TexResult {
@@ -337,6 +349,10 @@ func (a *ATFIMPath) offload(now int64, unit int, req *gpu.TexRequest, missing []
 	a.act.ResponsePackets++
 
 	ptb.retire(done)
+	if a.trace.On() {
+		a.trace.SpanArg(a.offloadTrack[unit], "offload", start, done,
+			"parents", int64(len(missing)))
+	}
 	a.act.OffloadLatencySum += done - now
 	a.dbgPTBWait += start - now
 	a.dbgLinkUp += arrive - start

@@ -5,6 +5,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/gpu"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/texture"
 )
 
@@ -22,6 +23,9 @@ type BaselinePath struct {
 
 	act     gpu.PathActivity
 	traffic mem.Traffic
+
+	trace     *obs.Tracer
+	unitTrack []string
 
 	// Per-request transient state used by the fetch callback.
 	curUnit   int
@@ -59,6 +63,13 @@ func (b *BaselinePath) Name() string {
 		return "b-pim"
 	}
 	return "baseline"
+}
+
+// SetTracer implements obs.TraceAttacher: texture-unit miss windows become
+// spans on per-unit tracks.
+func (b *BaselinePath) SetTracer(t *obs.Tracer) {
+	b.trace = t
+	b.unitTrack = unitTracks("texunit", len(b.units))
 }
 
 // fetchTexel is the sampler callback: it routes one texel read through the
@@ -121,7 +132,14 @@ func (b *BaselinePath) Sample(now int64, req *gpu.TexRequest) gpu.TexResult {
 	if pipeDone > done {
 		done = pipeDone
 	}
-	u.retire(issue, occ, done, b.curMaxMem > issue+l2HitLatency)
+	missed := b.curMaxMem > issue+l2HitLatency
+	u.retire(issue, occ, done, missed)
+	if missed && b.trace.On() {
+		// The miss window: from unit issue until the last texel line
+		// arrived from memory.
+		b.trace.SpanArg(b.unitTrack[unit], "miss", issue, b.curMaxMem,
+			"texels", int64(texels))
+	}
 
 	b.act.TexRequests++
 	b.act.QueueCycles += accepted - now

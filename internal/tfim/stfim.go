@@ -6,6 +6,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/hmc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/texture"
 )
 
@@ -28,6 +29,9 @@ type STFIMPath struct {
 	traffic mem.Traffic
 	upPkg   []packageMeter
 	downPkg []packageMeter
+
+	trace    *obs.Tracer
+	mtuTrack []string
 
 	// Per-request transient state.
 	curArrive int64
@@ -52,6 +56,13 @@ func NewSTFIMPath(cfg config.Config, cube hmc.Cube) *STFIMPath {
 
 // Name implements gpu.TexturePath.
 func (s *STFIMPath) Name() string { return "s-tfim" }
+
+// SetTracer implements obs.TraceAttacher: each MTU round trip (package
+// out, in-memory filtering, package back) becomes one span.
+func (s *STFIMPath) SetTracer(t *obs.Tracer) {
+	s.trace = t
+	s.mtuTrack = unitTracks("mtu", len(s.mtus))
+}
 
 // internalGranule is the logic-layer fetch granularity in bytes: 2x2 texel
 // blocks, exploiting HMC's fine-grained access (the external path still
@@ -139,6 +150,10 @@ func (s *STFIMPath) Sample(now int64, req *gpu.TexRequest) gpu.TexResult {
 	// S-TFIM busy time includes the package transits: the MTU round trip
 	// is the design's filtering process (Section IV).
 	s.act.BusyCycles += occ + float64(issue-accepted) + float64(arrive-now) + float64(done-filtered)
+	if s.trace.On() {
+		s.trace.SpanArg(s.mtuTrack[mtu], "filter", arrive, filtered,
+			"texels", int64(texels))
+	}
 	recordLatency(&s.act, now, done)
 	return gpu.TexResult{Color: color, Done: done}
 }

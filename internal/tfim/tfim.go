@@ -14,8 +14,20 @@
 package tfim
 
 import (
+	"fmt"
+
 	"repro/internal/gpu"
 )
+
+// unitTracks pre-formats per-unit trace track labels ("texunit00", ...)
+// so tracing's hot path never calls fmt.
+func unitTracks(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%02d", prefix, i)
+	}
+	return out
+}
 
 // ceilDiv returns ceil(a/b) for positive b.
 func ceilDiv(a, b int) int {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/workload"
 )
@@ -56,6 +57,20 @@ type Result = core.Result
 
 // Experiment is a regenerated paper figure or table.
 type Experiment = core.Experiment
+
+// Tracer collects cycle-stamped spans from the simulator's instrumented
+// units. Attach one via Options.Trace; export with WriteChromeTrace. A nil
+// *Tracer is valid and inert, and tracing never changes simulated cycle
+// counts.
+type Tracer = obs.Tracer
+
+// NewTracer builds a trace ring buffer holding up to capacity spans
+// (capacity <= 0 selects obs.DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// Snapshot is the stable machine-readable metrics document produced by
+// Result.Metrics (schema obs.SchemaVersion).
+type Snapshot = obs.Snapshot
 
 // WorkloadSpec is one Table II benchmark.
 type WorkloadSpec = workload.Workload
