@@ -13,25 +13,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, or one of "+strings.Join(repro.ExperimentNames(), ", "))
-		set     = flag.String("set", "quick", "workload set: mini, quick, full")
-		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut = flag.Bool("json", false, "emit the experiment set as JSON instead of text")
+		exp      = flag.String("exp", "all", "experiment: all, or one of "+strings.Join(repro.ExperimentNames(), ", "))
+		set      = flag.String("set", "quick", "workload set: mini, quick, full")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = flag.Bool("json", false, "emit the experiment set as JSON instead of text")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "render-farm workers for the sweeps (1 = serial)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}
+	core.SetSweepParallelism(*parallel)
+	wallStart := time.Now()
 	defer func() {
 		if err := prof.Stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -90,12 +95,31 @@ func main() {
 			fatal(err)
 		}
 	}
+	reportFarm(time.Since(wallStart))
 	if failed {
 		if err := prof.Stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 		}
 		os.Exit(1)
 	}
+}
+
+// reportFarm prints the sweep farm's parallel win: cumulative worker-busy
+// time is what a serial run would have spent simulating, so busy/wall is
+// the wall-clock speedup the farm delivered. Goes to stderr so -csv/-json
+// stdout stays machine-readable.
+func reportFarm(wall time.Duration) {
+	f := core.SweepFarm()
+	busy := f.BusyTime()
+	if busy <= 0 || wall <= 0 {
+		return
+	}
+	c := f.Counters()
+	fmt.Fprintf(os.Stderr,
+		"farm: %d workers, %d jobs (%d deduped), %v simulated over %v wall — %.2fx vs serial\n",
+		f.Workers(), c.Submitted, c.Deduped,
+		busy.Round(time.Millisecond), wall.Round(time.Millisecond),
+		busy.Seconds()/wall.Seconds())
 }
 
 func sortedKeys(m map[string]float64) []string {

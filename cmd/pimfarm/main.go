@@ -1,0 +1,114 @@
+// Command pimfarm serves render-farm jobs over HTTP: submit a simulation
+// as JSON options, poll its status, and read the pim-render/metrics/v1
+// snapshot back when it finishes. Identical in-flight submissions collapse
+// into one simulation and completed results are served from an LRU cache.
+//
+// Usage:
+//
+//	pimfarm -addr :8080 -workers 8 -queue 256 -cachecap 512
+//
+//	curl -s localhost:8080/v1/jobs -d '{"game":"doom3","width":320,"height":240,"design":"atfim"}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/varz
+//
+// SIGINT/SIGTERM drain the farm: the listener closes, queued jobs finish,
+// then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", farm.DefaultQueueDepth, "job queue depth")
+		cachecap  = flag.Int("cachecap", farm.DefaultCacheCap, "result cache entries (-1 disables)")
+		retries   = flag.Int("retries", 0, "retry attempts per failed job")
+		drainSecs = flag.Int("drain", 60, "max seconds to drain on shutdown before forcing")
+		tracefile = flag.String("tracefile", "", "write farm job-lifecycle spans as Chrome trace JSON on shutdown")
+	)
+	prof := obs.AddProfileFlags(flag.CommandLine)
+	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "pimfarm:", err)
+		}
+	}()
+
+	var tracer *obs.Tracer
+	if *tracefile != "" {
+		tracer = obs.NewTracer(0)
+	}
+	f := farm.New(farm.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheCap:   *cachecap,
+		Retries:    *retries,
+		Tracer:     tracer,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(f)}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "pimfarm: listening on %s (%d workers, queue %d)\n",
+			*addr, f.Workers(), *queue)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "pimfarm: %v, draining\n", sig)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pimfarm: http shutdown:", err)
+	}
+	if err := f.Close(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pimfarm: forced farm shutdown:", err)
+	}
+	c := f.Counters()
+	fmt.Fprintf(os.Stderr, "pimfarm: drained (done=%d failed=%d canceled=%d deduped=%d cache_hits=%d)\n",
+		c.Done, c.Failed, c.Canceled, c.Deduped, c.CacheHits)
+
+	if *tracefile != "" {
+		w, err := os.Create(*tracefile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(w); err != nil {
+			fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimfarm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// jobRequest is the POST /v1/jobs body: a render job as JSON options,
+// mirroring core.Options plus the workload selector.
+type jobRequest struct {
+	Game   string `json:"game"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	Design string `json:"design"`
+
+	AngleThreshold       float32 `json:"angle_threshold,omitempty"`
+	DisableAniso         bool    `json:"disable_aniso,omitempty"`
+	FrameIndex           int     `json:"frame_index,omitempty"`
+	Frames               int     `json:"frames,omitempty"`
+	LinearLayout         bool    `json:"linear_layout,omitempty"`
+	DisableConsolidation bool    `json:"disable_consolidation,omitempty"`
+	MTUs                 int     `json:"mtus,omitempty"`
+	Compressed           bool    `json:"compressed,omitempty"`
+	HMCCubes             int     `json:"hmc_cubes,omitempty"`
+}
+
+// options converts the request to simulator options.
+func (r *jobRequest) options(design config.Design) core.Options {
+	return core.Options{
+		Design:               design,
+		AngleThreshold:       r.AngleThreshold,
+		DisableAniso:         r.DisableAniso,
+		FrameIndex:           r.FrameIndex,
+		Frames:               r.Frames,
+		LinearLayout:         r.LinearLayout,
+		DisableConsolidation: r.DisableConsolidation,
+		MTUs:                 r.MTUs,
+		Compressed:           r.Compressed,
+		HMCCubes:             r.HMCCubes,
+	}
+}
+
+// jobResponse is the GET /v1/jobs/{id} body: lifecycle view, the original
+// request, and — once the job is done — the pim-render/metrics/v1 snapshot.
+type jobResponse struct {
+	farm.View
+	Request *jobRequest   `json:"request,omitempty"`
+	Result  *obs.Snapshot `json:"result,omitempty"`
+}
+
+// server is the pimfarm HTTP API over one Farm.
+type server struct {
+	farm *farm.Farm
+	mux  *http.ServeMux
+}
+
+// newServer builds the API handler (httptest mounts it directly).
+func newServer(f *farm.Farm) *server {
+	s := &server{farm: f, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	design, err := parseDesign(req.Design)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, err := workload.Get(req.Game, req.Width, req.Height)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := req.options(design)
+	if err := core.ValidateOptions(opts); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Bound the wait for queue space so a saturated farm sheds load with
+	// 503 instead of hanging the client.
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	job, err := s.farm.Submit(ctx, farm.Task{
+		Key:   core.CacheKey(wl, opts),
+		Label: fmt.Sprintf("%s@%dx%d/%s", req.Game, req.Width, req.Height, design),
+		Meta:  &req,
+		Run: func(context.Context) (any, error) {
+			res, err := core.RunCached(wl, opts)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, farm.ErrClosed), errors.Is(err, farm.ErrShutdown):
+			httpError(w, http.StatusServiceUnavailable, errors.New("farm is shutting down"))
+		case errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusServiceUnavailable, errors.New("job queue is full"))
+		default:
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobResponse{View: job.View(), Request: &req})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.farm.Jobs()
+	views := make([]farm.View, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.View())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.farm.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	resp := jobResponse{View: j.View()}
+	if req, ok := j.Meta().(*jobRequest); ok {
+		resp.Request = req
+	}
+	if v, err := j.Result(); err == nil {
+		if res, ok := v.(*core.Result); ok {
+			resp.Result = res.Metrics()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.farm.Counters())
+}
+
+func parseDesign(s string) (config.Design, error) {
+	switch strings.ToLower(s) {
+	case "", "baseline":
+		return config.Baseline, nil
+	case "bpim", "b-pim":
+		return config.BPIM, nil
+	case "stfim", "s-tfim":
+		return config.STFIM, nil
+	case "atfim", "a-tfim":
+		return config.ATFIM, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q (baseline, bpim, stfim, atfim)", s)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful to do beyond logging.
+		fmt.Println("pimfarm: encode response:", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *farm.Farm) {
+	t.Helper()
+	f := farm.New(farm.Config{Workers: 2, QueueDepth: 16})
+	ts := httptest.NewServer(newServer(f))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := f.Close(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+	return ts, f
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (jobResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr jobResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return jr, resp.StatusCode
+}
+
+func pollJob(t *testing.T, ts *httptest.Server, id string) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr jobResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.State == "done" || jr.State == "failed" || jr.State == "canceled" {
+			return jr
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return jobResponse{}
+}
+
+// TestAPIRoundTrip is the submit → poll → metrics/v1 contract: a render
+// job submitted as JSON options completes and returns a parsable
+// pim-render/metrics/v1 snapshot as its result body.
+func TestAPIRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	jr, code := postJob(t, ts, `{"game":"doom3","width":320,"height":240,"design":"baseline"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want 202", code)
+	}
+	if jr.ID == "" {
+		t.Fatal("no job id in response")
+	}
+	if jr.Request == nil || jr.Request.Game != "doom3" {
+		t.Fatalf("request not echoed: %+v", jr.Request)
+	}
+
+	final := pollJob(t, ts, jr.ID)
+	if final.State != "done" {
+		t.Fatalf("state = %s (%s), want done", final.State, final.Error)
+	}
+	if final.Result == nil {
+		t.Fatal("done job has no result body")
+	}
+	if final.Result.Schema != obs.SchemaVersion {
+		t.Fatalf("result schema = %q, want %q", final.Result.Schema, obs.SchemaVersion)
+	}
+	if final.Result.Cycles <= 0 {
+		t.Fatal("result reports zero cycles")
+	}
+	if final.Result.Workload != "doom3-320x240" {
+		t.Fatalf("result workload = %q", final.Result.Workload)
+	}
+
+	// An identical submission is served from the result cache.
+	jr2, code := postJob(t, ts, `{"game":"doom3","width":320,"height":240,"design":"baseline"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("duplicate POST status = %d", code)
+	}
+	dup := pollJob(t, ts, jr2.ID)
+	if dup.State != "done" {
+		t.Fatalf("duplicate state = %s", dup.State)
+	}
+	if !dup.CacheHit && !dup.Deduped {
+		t.Fatal("duplicate submission was fully re-simulated (no cache hit or dedup)")
+	}
+
+	// Listing shows both jobs.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []farm.View `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 2 {
+		t.Fatalf("listed %d jobs, want 2", len(list.Jobs))
+	}
+}
+
+func TestHealthAndVarz(t *testing.T) {
+	ts, f := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c farm.Counters
+	err = json.NewDecoder(resp.Body).Decode(&c)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers != f.Workers() || c.QueueDepth != 16 {
+		t.Fatalf("varz counters: %+v", c)
+	}
+}
+
+func TestAPIBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown game", `{"game":"quake","width":320,"height":240,"design":"baseline"}`},
+		{"unknown design", `{"game":"doom3","width":320,"height":240,"design":"warp"}`},
+		{"invalid combo", `{"game":"doom3","width":320,"height":240,"design":"atfim","compressed":true}`},
+		{"bad json", `{"game":`},
+		{"unknown field", `{"game":"doom3","width":320,"height":240,"design":"baseline","bogus":1}`},
+	}
+	for _, tc := range cases {
+		if _, code := postJob(t, ts, tc.body); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestParseDesign(t *testing.T) {
+	for in, wantErr := range map[string]bool{
+		"baseline": false, "bpim": false, "B-PIM": false, "stfim": false,
+		"atfim": false, "A-TFIM": false, "": false, "gddr7": true,
+	} {
+		if _, err := parseDesign(in); (err != nil) != wantErr {
+			t.Errorf("parseDesign(%q) err = %v, wantErr %v", in, err, wantErr)
+		}
+	}
+	// Sanity: label formatting used in Submit.
+	if got := fmt.Sprintf("%s@%dx%d", "doom3", 320, 240); got != "doom3@320x240" {
+		t.Fatal(got)
+	}
+}

@@ -92,6 +92,11 @@ func (r *Result) Cycles() int64 { return r.Frame.Cycles }
 // GPU<->memory traffic.
 type trafficReporter interface{ Traffic() *mem.Traffic }
 
+// ValidateOptions reports whether opts form a runnable configuration.
+// cmd/pimfarm uses it to reject bad submissions with a 400 at submit time
+// instead of queuing a job that is guaranteed to fail.
+func ValidateOptions(opts Options) error { return buildConfig(opts).Validate() }
+
 // buildConfig derives the design configuration from options.
 func buildConfig(opts Options) config.Config {
 	cfg := config.Default(opts.Design)

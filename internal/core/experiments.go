@@ -2,10 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/area"
 	"repro/internal/config"
+	"repro/internal/farm/flight"
+	"repro/internal/farm/lru"
 	"repro/internal/mem"
 	"repro/internal/quality"
 	"repro/internal/stats"
@@ -37,12 +38,25 @@ func MiniSet() []workload.Workload {
 	}
 }
 
+// DefaultRunCacheCap bounds the cross-experiment memoization cache. The
+// quick workload set needs ~60 distinct cells; the full Table II sweep
+// stays comfortably under this too.
+const DefaultRunCacheCap = 512
+
 // runCache memoizes simulation results across experiments (Figs 10-13
-// share one sweep; Figs 14-16 share the threshold sweep).
+// share one sweep; Figs 14-16 share the threshold sweep). It is LRU-
+// bounded, and runFlight collapses concurrent computations of the same
+// key into one simulation (the farm's singleflight primitive), so
+// duplicate in-flight work is impossible even under parallel sweeps.
 var (
-	runCacheMu sync.Mutex
-	runCache   = map[string]*Result{}
+	runFlight flight.Group[*Result]
+	runCache  = lru.New[*Result](DefaultRunCacheCap)
 )
+
+// CacheKey returns the memoization key identifying a (workload, Options)
+// simulation — the identity the farm dedups and caches on (cmd/pimfarm
+// keys its jobs with it).
+func CacheKey(wl workload.Workload, opts Options) string { return cacheKey(wl, opts) }
 
 func cacheKey(wl workload.Workload, opts Options) string {
 	return fmt.Sprintf("%s/%d/%.5f/%v/%v/%v/%v/%d/%d/%d/%d",
@@ -51,32 +65,34 @@ func cacheKey(wl workload.Workload, opts Options) string {
 		opts.MTUs, opts.FrameIndex, opts.Frames, opts.HMCCubes)
 }
 
-// RunCached is Run with cross-experiment memoization.
+// RunCached is Run with cross-experiment memoization. Concurrent callers
+// with equal keys share one execution: the singleflight group guarantees
+// at most one simulation per key is ever in flight, and completed results
+// are served from the bounded LRU.
 func RunCached(wl workload.Workload, opts Options) (*Result, error) {
 	key := cacheKey(wl, opts)
-	runCacheMu.Lock()
-	if r, ok := runCache[key]; ok {
-		runCacheMu.Unlock()
+	if r, ok := runCache.Get(key); ok {
 		return r, nil
 	}
-	runCacheMu.Unlock()
-	r, err := Run(wl, opts)
-	if err != nil {
-		return nil, err
-	}
-	runCacheMu.Lock()
-	runCache[key] = r
-	runCacheMu.Unlock()
-	return r, nil
+	r, err, _ := runFlight.Do(key, func() (*Result, error) {
+		// Re-check under the flight: a call that completed between our
+		// cache miss and winning the flight may have filled the entry.
+		if r, ok := runCache.Get(key); ok {
+			return r, nil
+		}
+		r, err := Run(wl, opts)
+		if err != nil {
+			return nil, err
+		}
+		runCache.Add(key, r)
+		return r, nil
+	})
+	return r, err
 }
 
 // ClearRunCache empties the memoization cache (tests use it to bound
 // memory).
-func ClearRunCache() {
-	runCacheMu.Lock()
-	defer runCacheMu.Unlock()
-	runCache = map[string]*Result{}
-}
+func ClearRunCache() { runCache.Clear() }
 
 // Experiment bundles a rendered table with headline summary numbers
 // (keyed aggregates the tests and EXPERIMENTS.md assert on).
@@ -92,6 +108,13 @@ type Experiment struct {
 func Fig2MemoryBreakdown(wls []workload.Workload) (*Experiment, error) {
 	tab := stats.NewTable("Fig 2: memory bandwidth usage breakdown (Baseline)",
 		"workload", "texture%", "frame%", "geometry%", "z-test%", "color%")
+	var specs []runSpec
+	for _, wl := range wls {
+		specs = append(specs, runSpec{wl, Options{Design: config.Baseline}})
+	}
+	if err := prefetch(specs); err != nil {
+		return nil, err
+	}
 	var texShare []float64
 	for _, wl := range wls {
 		res, err := RunCached(wl, Options{Design: config.Baseline})
@@ -121,6 +144,15 @@ func Fig2MemoryBreakdown(wls []workload.Workload) (*Experiment, error) {
 func Fig4AnisoOff(wls []workload.Workload) (*Experiment, error) {
 	tab := stats.NewTable("Fig 4: anisotropic filtering disabled (Baseline)",
 		"workload", "filter speedup", "normalized traffic")
+	var specs []runSpec
+	for _, wl := range wls {
+		specs = append(specs,
+			runSpec{wl, Options{Design: config.Baseline}},
+			runSpec{wl, Options{Design: config.Baseline, DisableAniso: true}})
+	}
+	if err := prefetch(specs); err != nil {
+		return nil, err
+	}
 	var sp, tr []float64
 	for _, wl := range wls {
 		on, err := RunCached(wl, Options{Design: config.Baseline})
@@ -154,6 +186,15 @@ func Fig4AnisoOff(wls []workload.Workload) (*Experiment, error) {
 func Fig5BPIM(wls []workload.Workload) (*Experiment, error) {
 	tab := stats.NewTable("Fig 5: B-PIM speedup over Baseline",
 		"workload", "render speedup", "filter speedup")
+	var specs []runSpec
+	for _, wl := range wls {
+		specs = append(specs,
+			runSpec{wl, Options{Design: config.Baseline}},
+			runSpec{wl, Options{Design: config.BPIM}})
+	}
+	if err := prefetch(specs); err != nil {
+		return nil, err
+	}
 	var rsp, fsp []float64
 	for _, wl := range wls {
 		base, err := RunCached(wl, Options{Design: config.Baseline})
@@ -203,8 +244,19 @@ func Fig7TexelFetches() *Experiment {
 }
 
 // designSweep runs every design on every workload (memoized) and returns
-// results indexed [workload][design].
+// results indexed [workload][design]. The cells execute in parallel on the
+// sweep farm; the aggregation below stays in workload order, so output is
+// byte-identical to a serial sweep.
 func designSweep(wls []workload.Workload) (map[string]map[config.Design]*Result, error) {
+	var specs []runSpec
+	for _, wl := range wls {
+		for _, d := range config.AllDesigns() {
+			specs = append(specs, runSpec{wl, Options{Design: d}})
+		}
+	}
+	if err := prefetch(specs); err != nil {
+		return nil, err
+	}
 	out := make(map[string]map[config.Design]*Result, len(wls))
 	for _, wl := range wls {
 		row := make(map[config.Design]*Result, 4)
@@ -295,6 +347,13 @@ func Fig12MemoryTraffic(wls []workload.Workload) (*Experiment, error) {
 	}
 	tab := stats.NewTable("Fig 12: texture memory traffic (normalized to Baseline)",
 		"workload", "Baseline", "B-PIM", "S-TFIM", "A-TFIM-001pi", "A-TFIM-005pi")
+	var specs []runSpec
+	for _, wl := range wls {
+		specs = append(specs, runSpec{wl, Options{Design: config.ATFIM, AngleThreshold: config.Angle005Pi}})
+	}
+	if err := prefetch(specs); err != nil {
+		return nil, err
+	}
 	agg := map[string][]float64{}
 	for _, wl := range wls {
 		row := sweep[wl.Name()]
@@ -359,8 +418,20 @@ func Fig13Energy(wls []workload.Workload) (*Experiment, error) {
 	}, nil
 }
 
-// thresholdSweep runs A-TFIM at each camera-angle threshold.
+// thresholdSweep runs A-TFIM at each camera-angle threshold, in parallel
+// on the sweep farm. The Baseline cell per workload is prefetched too:
+// Figs 14 and 15 normalize against it right after this sweep.
 func thresholdSweep(wls []workload.Workload) (map[string]map[string]*Result, error) {
+	var specs []runSpec
+	for _, wl := range wls {
+		specs = append(specs, runSpec{wl, Options{Design: config.Baseline}})
+		for _, th := range config.AngleThresholds() {
+			specs = append(specs, runSpec{wl, Options{Design: config.ATFIM, AngleThreshold: th.Value}})
+		}
+	}
+	if err := prefetch(specs); err != nil {
+		return nil, err
+	}
 	out := map[string]map[string]*Result{}
 	for _, wl := range wls {
 		row := map[string]*Result{}

@@ -1,0 +1,32 @@
+package farm_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+)
+
+// benchmarkFarmSweep times one full fig10 design sweep over core.MiniSet
+// (12 simulations) at the given farm parallelism. The run cache is cleared
+// every iteration so each one really simulates; the serial/parallel pair
+// captures the farm's wall-clock win in the perf trajectory.
+func benchmarkFarmSweep(b *testing.B, workers int) {
+	wls := core.MiniSet()
+	core.SetSweepParallelism(workers)
+	b.Cleanup(func() { core.SetSweepParallelism(0) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ClearRunCache()
+		if _, err := repro.RunExperiment("fig10", wls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFarmSweepSerial(b *testing.B) { benchmarkFarmSweep(b, 1) }
+
+func BenchmarkFarmSweepParallel(b *testing.B) {
+	benchmarkFarmSweep(b, runtime.GOMAXPROCS(0))
+}

@@ -1,0 +1,514 @@
+// Package farm is the concurrent render-farm service layer: a bounded-queue
+// job scheduler with a fixed worker pool, singleflight deduplication of
+// identical in-flight work, an LRU-bounded result cache, per-job retry with
+// exponential backoff, and graceful drain on shutdown.
+//
+// The farm is deliberately independent of the simulator: a Task carries an
+// opaque Run closure plus a dedup Key, so internal/core can route its design
+// and threshold sweeps through a farm (and cmd/pimfarm can serve arbitrary
+// render jobs) without an import cycle. Job lifecycle transitions
+// (queued → running → done) are recorded as obs spans when a tracer is
+// attached, so farm behaviour shows up in the same Chrome trace export as
+// the simulator's cycle timeline.
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/farm/lru"
+	"repro/internal/obs"
+)
+
+// Defaults used when Config fields are zero.
+const (
+	// DefaultQueueDepth bounds the pending-job queue.
+	DefaultQueueDepth = 256
+	// DefaultCacheCap bounds the result cache (entries).
+	DefaultCacheCap = 512
+	// DefaultRetainDone bounds how many finished jobs the registry keeps
+	// for listing; the oldest are pruned first.
+	DefaultRetainDone = 1024
+	// DefaultBackoff seeds the exponential retry backoff.
+	DefaultBackoff = 10 * time.Millisecond
+)
+
+// Errors returned by the farm.
+var (
+	// ErrClosed is returned by Submit after Close has begun.
+	ErrClosed = errors.New("farm: closed")
+	// ErrShutdown completes jobs that were still queued when a forced
+	// shutdown canceled them.
+	ErrShutdown = errors.New("farm: shut down before job ran")
+)
+
+// Task is one unit of work.
+type Task struct {
+	// Key identifies equal work: concurrent tasks with the same non-empty
+	// Key collapse into one execution (singleflight) and completed values
+	// are served from the LRU cache. An empty Key opts out of both.
+	Key string
+	// Label names the task in job listings and trace spans.
+	Label string
+	// Meta is an opaque caller payload surfaced on the Job (pimfarm stores
+	// the parsed request here).
+	Meta any
+	// Run executes the work. The context is the farm's root context; it is
+	// canceled on forced shutdown. Run must be safe to call concurrently
+	// with other tasks' Run.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Config configures a Farm.
+type Config struct {
+	// Workers is the pool size; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds pending jobs; <= 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// CacheCap bounds the result cache; < 0 disables caching, 0 selects
+	// DefaultCacheCap.
+	CacheCap int
+	// Retries is how many times a failed Run is retried (0 = no retries).
+	Retries int
+	// Backoff is the first retry delay, doubling per attempt; <= 0 selects
+	// DefaultBackoff.
+	Backoff time.Duration
+	// Retryable decides whether an error is transient; nil retries every
+	// error (when Retries > 0).
+	Retryable func(error) bool
+	// RetainDone bounds how many finished jobs stay listable; <= 0 selects
+	// DefaultRetainDone.
+	RetainDone int
+	// Tracer, when non-nil, receives job lifecycle spans (wall-clock
+	// microseconds since the farm started).
+	Tracer *obs.Tracer
+}
+
+// Counters is a point-in-time snapshot of farm activity (the /varz body).
+type Counters struct {
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueLen      int     `json:"queue_len"`
+	Submitted     uint64  `json:"submitted"`
+	Running       int64   `json:"running"`
+	Done          uint64  `json:"done"`
+	Failed        uint64  `json:"failed"`
+	Canceled      uint64  `json:"canceled"`
+	Deduped       uint64  `json:"deduped"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheSize     int     `json:"cache_size"`
+	Retries       uint64  `json:"retries"`
+	BusySeconds   float64 `json:"busy_seconds"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Utilization is busy worker-seconds over available worker-seconds
+	// since the farm started, in [0,1].
+	Utilization float64 `json:"utilization"`
+}
+
+// Farm schedules Tasks over a worker pool.
+type Farm struct {
+	cfg   Config
+	queue chan *Job
+	t0    time.Time
+
+	root   context.Context
+	cancel context.CancelFunc
+
+	cache *lru.Cache[any]
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[string]*leader // key → leader among queued/running jobs
+	jobs     map[string]*Job    // id → job
+	order    []*Job             // submission order, pruned to RetainDone
+	nextID   uint64
+
+	jobsWG    sync.WaitGroup // accepted jobs not yet terminal
+	workersWG sync.WaitGroup
+
+	submitted atomic.Uint64
+	running   atomic.Int64
+	done      atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+	deduped   atomic.Uint64
+	cacheHits atomic.Uint64
+	retries   atomic.Uint64
+	busyNs    atomic.Int64
+}
+
+// leader tracks one in-flight execution and the duplicate submissions
+// riding on it.
+type leader struct {
+	job       *Job
+	followers []*Job
+}
+
+// New builds a farm and starts its workers.
+func New(cfg Config) *Farm {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	switch {
+	case cfg.CacheCap == 0:
+		cfg.CacheCap = DefaultCacheCap
+	case cfg.CacheCap < 0:
+		cfg.CacheCap = 0 // lru.New returns a nil (inert) cache
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultBackoff
+	}
+	if cfg.RetainDone <= 0 {
+		cfg.RetainDone = DefaultRetainDone
+	}
+	root, cancel := context.WithCancel(context.Background())
+	f := &Farm{
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		t0:       time.Now(),
+		root:     root,
+		cancel:   cancel,
+		cache:    lru.New[any](cfg.CacheCap),
+		inflight: make(map[string]*leader),
+		jobs:     make(map[string]*Job),
+	}
+	f.workersWG.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go f.worker(w)
+	}
+	return f
+}
+
+// Workers returns the pool size.
+func (f *Farm) Workers() int { return f.cfg.Workers }
+
+// Submit enqueues a task and returns its Job immediately. ctx bounds only
+// the wait for queue space (execution uses the farm's root context).
+// Duplicate keys of in-flight jobs attach to the leader without consuming
+// a queue slot; cached keys complete immediately.
+func (f *Farm) Submit(ctx context.Context, t Task) (*Job, error) {
+	if t.Run == nil {
+		return nil, errors.New("farm: task has no Run")
+	}
+	now := time.Now()
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	j := &Job{
+		id:       fmt.Sprintf("job-%06d", f.nextID+1),
+		label:    t.Label,
+		key:      t.Key,
+		meta:     t.Meta,
+		state:    Queued,
+		enqueued: now,
+		done:     make(chan struct{}),
+	}
+	f.nextID++
+	f.jobsWG.Add(1)
+	f.register(j)
+	f.submitted.Add(1)
+
+	// Cache hit: complete without touching the queue.
+	if t.Key != "" {
+		if v, ok := f.cache.Get(t.Key); ok {
+			f.mu.Unlock()
+			j.mu.Lock()
+			j.cacheHit = true
+			j.mu.Unlock()
+			f.cacheHits.Add(1)
+			f.cfg.Tracer.Instant("farm/cache", t.Label, f.us(time.Now()))
+			f.finish(j, Done, v, nil)
+			return j, nil
+		}
+		// Singleflight: ride the in-flight leader.
+		if ld, ok := f.inflight[t.Key]; ok {
+			ld.followers = append(ld.followers, j)
+			f.mu.Unlock()
+			j.mu.Lock()
+			j.deduped = true
+			j.mu.Unlock()
+			f.deduped.Add(1)
+			return j, nil
+		}
+		f.inflight[t.Key] = &leader{job: j}
+	}
+	j.run = t.Run
+	f.mu.Unlock()
+
+	select {
+	case f.queue <- j:
+		return j, nil
+	case <-ctx.Done():
+		f.finish(j, Canceled, nil, ctx.Err())
+		return nil, ctx.Err()
+	case <-f.root.Done():
+		f.finish(j, Canceled, nil, ErrShutdown)
+		return nil, ErrShutdown
+	}
+}
+
+// Do submits a task and waits for its result.
+func (f *Farm) Do(ctx context.Context, t Task) (any, error) {
+	j, err := f.Submit(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// Job returns a submitted job by id.
+func (f *Farm) Job(id string) (*Job, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	return j, ok
+}
+
+// Jobs returns the retained jobs in submission order.
+func (f *Farm) Jobs() []*Job {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Job, len(f.order))
+	copy(out, f.order)
+	return out
+}
+
+// Counters snapshots farm activity.
+func (f *Farm) Counters() Counters {
+	up := time.Since(f.t0).Seconds()
+	busy := time.Duration(f.busyNs.Load()).Seconds()
+	util := 0.0
+	if avail := up * float64(f.cfg.Workers); avail > 0 {
+		util = busy / avail
+	}
+	return Counters{
+		Workers:       f.cfg.Workers,
+		QueueDepth:    f.cfg.QueueDepth,
+		QueueLen:      len(f.queue),
+		Submitted:     f.submitted.Load(),
+		Running:       f.running.Load(),
+		Done:          f.done.Load(),
+		Failed:        f.failed.Load(),
+		Canceled:      f.canceled.Load(),
+		Deduped:       f.deduped.Load(),
+		CacheHits:     f.cacheHits.Load(),
+		CacheSize:     f.cache.Len(),
+		Retries:       f.retries.Load(),
+		BusySeconds:   busy,
+		UptimeSeconds: up,
+		Utilization:   util,
+	}
+}
+
+// BusyTime returns cumulative worker-busy time (the serial-equivalent
+// wall clock of all completed work; paperbench derives its parallel
+// speedup from this).
+func (f *Farm) BusyTime() time.Duration { return time.Duration(f.busyNs.Load()) }
+
+// Close drains the farm: no new submissions are accepted, queued jobs run
+// to completion, then workers exit. If ctx expires first the shutdown is
+// forced — the root context is canceled and still-queued jobs complete as
+// Canceled with ErrShutdown. Close returns ctx.Err() on a forced shutdown.
+func (f *Farm) Close(ctx context.Context) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		f.jobsWG.Wait()
+		close(drained)
+	}()
+
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		f.cancel()
+		f.drainCanceled()
+		<-drained
+	}
+	f.cancel()
+	f.workersWG.Wait()
+	return err
+}
+
+// register indexes a job and prunes the oldest finished jobs beyond the
+// retention bound. Caller holds f.mu.
+func (f *Farm) register(j *Job) {
+	f.jobs[j.id] = j
+	f.order = append(f.order, j)
+	if len(f.order) <= f.cfg.RetainDone {
+		return
+	}
+	kept := f.order[:0]
+	excess := len(f.order) - f.cfg.RetainDone
+	for _, old := range f.order {
+		if excess > 0 && old.State().Terminal() {
+			delete(f.jobs, old.id)
+			excess--
+			continue
+		}
+		kept = append(kept, old)
+	}
+	f.order = kept
+}
+
+// worker is one pool goroutine: pull, execute, repeat until the root
+// context is canceled and (on graceful drain) the queue is empty.
+func (f *Farm) worker(id int) {
+	defer f.workersWG.Done()
+	track := fmt.Sprintf("farm/worker-%02d", id)
+	for {
+		select {
+		case j := <-f.queue:
+			f.execute(track, j)
+		case <-f.root.Done():
+			// Forced shutdown may leave queued jobs; cancel them.
+			f.drainCanceled()
+			return
+		}
+	}
+}
+
+// execute runs one job with retry/backoff and completes it (and any
+// singleflight followers).
+func (f *Farm) execute(track string, j *Job) {
+	start := time.Now()
+	j.mu.Lock()
+	if j.state.Terminal() { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = start
+	j.mu.Unlock()
+
+	f.running.Add(1)
+	v, err := f.runWithRetry(j)
+	f.running.Add(-1)
+
+	end := time.Now()
+	f.busyNs.Add(int64(end.Sub(start)))
+
+	if f.cfg.Tracer.On() {
+		f.cfg.Tracer.Span("farm/queue", j.label, f.us(j.enqueued), f.us(start))
+		f.cfg.Tracer.SpanArg(track, j.label, f.us(start), f.us(end),
+			"attempts", int64(f.attempts(j)))
+	}
+
+	if err != nil {
+		f.finish(j, Failed, nil, err)
+		return
+	}
+	if j.key != "" {
+		f.cache.Add(j.key, v)
+	}
+	f.finish(j, Done, v, nil)
+}
+
+// runWithRetry executes the task, retrying transient failures with
+// exponential backoff while the farm is alive.
+func (f *Farm) runWithRetry(j *Job) (any, error) {
+	backoff := f.cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		j.mu.Lock()
+		j.attempts = attempt + 1
+		j.mu.Unlock()
+		v, err := j.run(f.root)
+		if err == nil || attempt >= f.cfg.Retries {
+			return v, err
+		}
+		if f.cfg.Retryable != nil && !f.cfg.Retryable(err) {
+			return v, err
+		}
+		f.retries.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-f.root.Done():
+			return nil, fmt.Errorf("%w (after %d attempts: %v)", ErrShutdown, attempt+1, err)
+		}
+		backoff *= 2
+	}
+}
+
+// finish completes a job and its singleflight followers, updating counters
+// and the inflight table exactly once per job.
+func (f *Farm) finish(j *Job, s State, v any, err error) {
+	now := time.Now()
+	var followers []*Job
+	if j.key != "" {
+		f.mu.Lock()
+		if ld, ok := f.inflight[j.key]; ok && ld.job == j {
+			followers = ld.followers
+			delete(f.inflight, j.key)
+		}
+		f.mu.Unlock()
+	}
+	f.completeOne(j, s, v, err, now)
+	for _, fo := range followers {
+		f.completeOne(fo, s, v, err, now)
+	}
+}
+
+func (f *Farm) completeOne(j *Job, s State, v any, err error, now time.Time) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = s
+	j.value = v
+	j.err = err
+	j.finished = now
+	j.mu.Unlock()
+	close(j.done)
+
+	switch s {
+	case Done:
+		f.done.Add(1)
+	case Failed:
+		f.failed.Add(1)
+	case Canceled:
+		f.canceled.Add(1)
+	}
+	f.jobsWG.Done()
+}
+
+// drainCanceled empties the queue, completing leftover jobs as Canceled.
+func (f *Farm) drainCanceled() {
+	for {
+		select {
+		case j := <-f.queue:
+			f.finish(j, Canceled, nil, ErrShutdown)
+		default:
+			return
+		}
+	}
+}
+
+func (f *Farm) attempts(j *Job) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// us converts a wall-clock instant to microseconds since farm start (the
+// trace time base; one trace "cycle" = 1 µs of wall clock).
+func (f *Farm) us(t time.Time) int64 { return t.Sub(f.t0).Microseconds() }

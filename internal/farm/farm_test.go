@@ -1,0 +1,430 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// value wraps an int so results survive the any round-trip distinctly.
+type value struct{ n int }
+
+func mustClose(t *testing.T, f *Farm) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestSubmitWait(t *testing.T) {
+	f := New(Config{Workers: 2})
+	defer mustClose(t, f)
+	j, err := f.Submit(context.Background(), Task{
+		Key:   "k",
+		Label: "simple",
+		Run:   func(context.Context) (any, error) { return &value{7}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(*value).n != 7 {
+		t.Fatalf("value = %+v, want 7", v)
+	}
+	if s := j.State(); s != Done {
+		t.Fatalf("state = %v, want done", s)
+	}
+	view := j.View()
+	if view.State != "done" || view.ID != j.ID() || view.Started == nil || view.Finished == nil {
+		t.Fatalf("bad view: %+v", view)
+	}
+}
+
+// TestExactlyOncePerKey is the duplicate-submission race test: many
+// concurrent submissions over few distinct keys must execute each key's
+// task exactly once (singleflight while in flight, LRU cache after), and
+// every job must observe its key's canonical result.
+func TestExactlyOncePerKey(t *testing.T) {
+	f := New(Config{Workers: 4})
+	defer mustClose(t, f)
+
+	const (
+		keys       = 8
+		perKey     = 25
+		totalSubs  = keys * perKey
+		runLatency = 5 * time.Millisecond
+	)
+	execs := make([]atomic.Int32, keys)
+	results := make([]*value, keys)
+	for i := range results {
+		results[i] = &value{i}
+	}
+
+	var wg sync.WaitGroup
+	jobs := make([]*Job, totalSubs)
+	errs := make([]error, totalSubs)
+	for s := 0; s < totalSubs; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			k := s % keys
+			j, err := f.Submit(context.Background(), Task{
+				Key:   fmt.Sprintf("key-%d", k),
+				Label: fmt.Sprintf("dup-%d", k),
+				Run: func(context.Context) (any, error) {
+					execs[k].Add(1)
+					time.Sleep(runLatency)
+					return results[k], nil
+				},
+			})
+			jobs[s], errs[s] = j, err
+		}(s)
+	}
+	wg.Wait()
+
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", s, err)
+		}
+	}
+	for s, j := range jobs {
+		v, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("job %d: %v", s, err)
+		}
+		if got, want := v.(*value), results[s%keys]; got != want {
+			t.Fatalf("job %d got %+v, want the canonical result %+v", s, got, want)
+		}
+	}
+	for k := range execs {
+		if n := execs[k].Load(); n != 1 {
+			t.Errorf("key %d executed %d times, want exactly 1", k, n)
+		}
+	}
+	c := f.Counters()
+	if c.Done != totalSubs {
+		t.Errorf("done = %d, want %d", c.Done, totalSubs)
+	}
+	if c.Deduped+c.CacheHits != totalSubs-keys {
+		t.Errorf("deduped (%d) + cache hits (%d) = %d, want %d",
+			c.Deduped, c.CacheHits, c.Deduped+c.CacheHits, totalSubs-keys)
+	}
+}
+
+func TestCacheHitAfterCompletion(t *testing.T) {
+	f := New(Config{Workers: 1})
+	defer mustClose(t, f)
+	var execs atomic.Int32
+	task := Task{
+		Key: "k",
+		Run: func(context.Context) (any, error) {
+			execs.Add(1)
+			return &value{1}, nil
+		},
+	}
+	v1, err := f.Do(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := f.Submit(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := j2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatal("cache served a different value")
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("execs = %d, want 1", execs.Load())
+	}
+	if !j2.View().CacheHit {
+		t.Fatal("second job should be marked cache_hit")
+	}
+	if c := f.Counters(); c.CacheHits != 1 {
+		t.Fatalf("cache_hits = %d, want 1", c.CacheHits)
+	}
+}
+
+func TestRetryBackoffThenSuccess(t *testing.T) {
+	f := New(Config{Workers: 1, Retries: 3, Backoff: time.Millisecond})
+	defer mustClose(t, f)
+	var calls atomic.Int32
+	v, err := f.Do(context.Background(), Task{
+		Label: "flaky",
+		Run: func(context.Context) (any, error) {
+			if calls.Add(1) < 3 {
+				return nil, errors.New("transient")
+			}
+			return &value{3}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(*value).n != 3 || calls.Load() != 3 {
+		t.Fatalf("v=%+v calls=%d, want success on third attempt", v, calls.Load())
+	}
+	if c := f.Counters(); c.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", c.Retries)
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	f := New(Config{Workers: 1, Retries: 2, Backoff: time.Millisecond})
+	defer mustClose(t, f)
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	j, _ := f.Submit(context.Background(), Task{
+		Run: func(context.Context) (any, error) {
+			calls.Add(1)
+			return nil, boom
+		},
+	})
+	_, err := j.Wait(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if j.State() != Failed {
+		t.Fatalf("state = %v, want failed", j.State())
+	}
+	if calls.Load() != 3 { // initial + 2 retries
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestRetryableFilterStopsRetry(t *testing.T) {
+	fatal := errors.New("fatal")
+	f := New(Config{
+		Workers: 1, Retries: 5, Backoff: time.Millisecond,
+		Retryable: func(err error) bool { return !errors.Is(err, fatal) },
+	})
+	defer mustClose(t, f)
+	var calls atomic.Int32
+	_, err := f.Do(context.Background(), Task{
+		Run: func(context.Context) (any, error) {
+			calls.Add(1)
+			return nil, fatal
+		},
+	})
+	if !errors.Is(err, fatal) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (non-retryable)", calls.Load())
+	}
+}
+
+// TestGracefulDrainCompletesQueuedJobs shuts the farm down with jobs still
+// queued behind a single worker and asserts every one of them ran.
+func TestGracefulDrainCompletesQueuedJobs(t *testing.T) {
+	f := New(Config{Workers: 1, QueueDepth: 32})
+	const jobs = 10
+	var ran atomic.Int32
+	submitted := make([]*Job, jobs)
+	for i := 0; i < jobs; i++ {
+		j, err := f.Submit(context.Background(), Task{
+			Label: fmt.Sprintf("drain-%d", i),
+			Run: func(context.Context) (any, error) {
+				time.Sleep(2 * time.Millisecond)
+				ran.Add(1)
+				return nil, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitted[i] = j
+	}
+	mustClose(t, f)
+	if n := ran.Load(); n != jobs {
+		t.Fatalf("%d of %d queued jobs ran across drain, want all", n, jobs)
+	}
+	for i, j := range submitted {
+		if j.State() != Done {
+			t.Fatalf("job %d state = %v after drain, want done", i, j.State())
+		}
+	}
+	if _, err := f.Submit(context.Background(), Task{Run: func(context.Context) (any, error) { return nil, nil }}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	if err := f.Close(context.Background()); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestForcedShutdownCancelsQueuedJobs expires the drain deadline while a
+// job blocks the single worker; the queued jobs must complete as Canceled.
+func TestForcedShutdownCancelsQueuedJobs(t *testing.T) {
+	f := New(Config{Workers: 1, QueueDepth: 8})
+	release := make(chan struct{})
+	blocker, err := f.Submit(context.Background(), Task{
+		Label: "blocker",
+		Run: func(ctx context.Context) (any, error) {
+			select {
+			case <-release:
+				return &value{0}, nil
+			case <-ctx.Done(): // forced shutdown cancels the farm context
+				return nil, ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make([]*Job, 3)
+	for i := range queued {
+		queued[i], err = f.Submit(context.Background(), Task{
+			Label: fmt.Sprintf("stuck-%d", i),
+			Run:   func(context.Context) (any, error) { return &value{1}, nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := f.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced Close = %v, want deadline exceeded", err)
+	}
+	close(release)
+
+	if s := blocker.State(); s != Failed {
+		t.Fatalf("blocker state = %v, want failed (ctx canceled)", s)
+	}
+	for i, j := range queued {
+		if s := j.State(); s != Canceled {
+			t.Fatalf("queued job %d state = %v, want canceled", i, s)
+		}
+		if _, err := j.Result(); !errors.Is(err, ErrShutdown) {
+			t.Fatalf("queued job %d err = %v, want ErrShutdown", i, err)
+		}
+	}
+	if c := f.Counters(); c.Canceled != 3 {
+		t.Fatalf("canceled = %d, want 3", c.Canceled)
+	}
+}
+
+func TestSubmitQueueFullRespectsContext(t *testing.T) {
+	f := New(Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	defer func() {
+		close(release)
+		mustClose(t, f)
+	}()
+	// Occupy the worker, then fill the queue.
+	if _, err := f.Submit(context.Background(), Task{Run: func(context.Context) (any, error) {
+		<-release
+		return nil, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(context.Background(), Task{Run: func(context.Context) (any, error) { return nil, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := f.Submit(ctx, Task{Run: func(context.Context) (any, error) { return nil, nil }}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit on full queue = %v, want deadline exceeded", err)
+	}
+}
+
+func TestJobsListingAndRetention(t *testing.T) {
+	f := New(Config{Workers: 1, RetainDone: 3})
+	defer mustClose(t, f)
+	for i := 0; i < 6; i++ {
+		j, err := f.Submit(context.Background(), Task{
+			Label: fmt.Sprintf("job-%d", i),
+			Run:   func(context.Context) (any, error) { return nil, nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs := f.Jobs()
+	if len(jobs) > 3 {
+		t.Fatalf("retained %d jobs, want <= 3", len(jobs))
+	}
+	// The most recent job is retained and addressable by id.
+	last := jobs[len(jobs)-1]
+	got, ok := f.Job(last.ID())
+	if !ok || got != last {
+		t.Fatalf("Job(%q) lookup failed", last.ID())
+	}
+}
+
+func TestTracerRecordsLifecycleSpans(t *testing.T) {
+	tr := obs.NewTracer(1024)
+	f := New(Config{Workers: 1, Tracer: tr})
+	if _, err := f.Do(context.Background(), Task{Key: "k", Label: "traced",
+		Run: func(context.Context) (any, error) { return &value{1}, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	// A second submission of the same key is a cache hit → instant event.
+	if _, err := f.Do(context.Background(), Task{Key: "k", Label: "traced",
+		Run: func(context.Context) (any, error) { return &value{1}, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	mustClose(t, f)
+
+	tracks := map[string]int{}
+	for _, e := range tr.Events() {
+		tracks[e.Track]++
+		if e.End < e.Start {
+			t.Fatalf("span %q on %q ends before it starts", e.Name, e.Track)
+		}
+	}
+	if tracks["farm/queue"] == 0 {
+		t.Fatalf("no farm/queue span recorded; tracks: %v", tracks)
+	}
+	if tracks["farm/worker-00"] == 0 {
+		t.Fatalf("no worker span recorded; tracks: %v", tracks)
+	}
+	if tracks["farm/cache"] == 0 {
+		t.Fatalf("no cache-hit instant recorded; tracks: %v", tracks)
+	}
+}
+
+func TestCountersUtilization(t *testing.T) {
+	f := New(Config{Workers: 2})
+	defer mustClose(t, f)
+	for i := 0; i < 4; i++ {
+		if _, err := f.Do(context.Background(), Task{Run: func(context.Context) (any, error) {
+			time.Sleep(5 * time.Millisecond)
+			return nil, nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := f.Counters()
+	if c.BusySeconds <= 0 {
+		t.Fatal("busy time not accounted")
+	}
+	if c.Utilization < 0 || c.Utilization > 1 {
+		t.Fatalf("utilization = %f out of range", c.Utilization)
+	}
+	if c.Workers != 2 || c.Submitted != 4 || c.Done != 4 {
+		t.Fatalf("counters: %+v", c)
+	}
+	if f.BusyTime() <= 0 {
+		t.Fatal("BusyTime not accounted")
+	}
+}

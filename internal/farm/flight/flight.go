@@ -1,0 +1,59 @@
+// Package flight implements singleflight call deduplication: concurrent
+// calls with the same key collapse into one execution whose result every
+// caller shares. It is the primitive behind the farm's job-level dedup and
+// core.RunCached's exactly-once in-flight guarantee; it deliberately has no
+// dependencies so both layers can use it without import cycles.
+package flight
+
+import "sync"
+
+// call is one in-flight (or finished) execution.
+type call[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Group collapses concurrent Do calls with equal keys into a single
+// execution. The zero value is ready to use.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+}
+
+// Do executes fn once per key among concurrent callers: the first caller
+// with a key runs fn; callers arriving while it is in flight wait and
+// receive the same result. shared reports whether the result was produced
+// by another caller's execution. Once the call completes the key is
+// forgotten, so later Do calls run fn again (persistent memoization is the
+// caller's job — see farm/lru).
+func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(call[V])
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}
+
+// InFlight reports how many keys are currently executing.
+func (g *Group[V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

@@ -1,0 +1,127 @@
+package flight
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoSequential(t *testing.T) {
+	var g Group[int]
+	v, err, shared := g.Do("k", func() (int, error) { return 42, nil })
+	if v != 42 || err != nil || shared {
+		t.Fatalf("Do = (%v, %v, %v), want (42, nil, false)", v, err, shared)
+	}
+	// The key is forgotten after completion: fn runs again.
+	v, _, _ = g.Do("k", func() (int, error) { return 7, nil })
+	if v != 7 {
+		t.Fatalf("second Do = %d, want 7 (key should be forgotten)", v)
+	}
+}
+
+func TestDoError(t *testing.T) {
+	var g Group[int]
+	want := errors.New("boom")
+	_, err, _ := g.Do("k", func() (int, error) { return 0, want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestDoCollapsesConcurrentCalls(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int32
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	// The leader enters fn and blocks on the gate; every other caller must
+	// then collapse onto it.
+	var wg sync.WaitGroup
+	fn := func() (int, error) {
+		execs.Add(1)
+		close(started)
+		<-gate
+		return 99, nil
+	}
+	const callers = 32
+	var sharedCount atomic.Int32
+	results := make([]int, callers)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, _ := g.Do("k", fn)
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+		results[0] = v
+	}()
+	<-started // leader is inside fn, holding the key in flight
+
+	var entered atomic.Int32
+	wg.Add(callers - 1)
+	for i := 1; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			entered.Add(1)
+			v, err, shared := g.Do("k", fn)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Give every follower time to reach Do before releasing the leader; a
+	// straggler arriving after completion would re-execute fn and fail the
+	// exactly-once assertion below, so this wait is load-bearing.
+	for int(entered.Load()) < callers-1 {
+		runtime.Gosched()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want exactly 1", n)
+	}
+	if n := sharedCount.Load(); n != callers-1 {
+		t.Fatalf("shared for %d callers, want %d", n, callers-1)
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Fatalf("caller %d got %d, want 99", i, v)
+		}
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after completion, want 0", g.InFlight())
+	}
+}
+
+func TestDistinctKeysDoNotCollapse(t *testing.T) {
+	var g Group[string]
+	var wg sync.WaitGroup
+	var execs atomic.Int32
+	for _, k := range []string{"a", "b", "c"} {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, _ := g.Do(k, func() (string, error) {
+				execs.Add(1)
+				return k, nil
+			})
+			if v != k {
+				t.Errorf("Do(%q) = %q", k, v)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 3 {
+		t.Fatalf("execs = %d, want 3", n)
+	}
+}

@@ -1,0 +1,153 @@
+package farm
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// State is a job's position in the queued → running → done lifecycle.
+type State int
+
+const (
+	// Queued: accepted, waiting for a worker (or for a dedup leader).
+	Queued State = iota
+	// Running: a worker is executing the task.
+	Running
+	// Done: finished successfully; Value holds the result.
+	Done
+	// Failed: finished with an error after exhausting retries.
+	Failed
+	// Canceled: the farm shut down before the job could run.
+	Canceled
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Job is one submitted task tracked through its lifecycle. All fields are
+// guarded; read them through the accessor methods or View.
+type Job struct {
+	id    string
+	label string
+	key   string
+	meta  any
+	run   func(ctx context.Context) (any, error)
+
+	mu       sync.Mutex
+	state    State
+	value    any
+	err      error
+	attempts int
+	deduped  bool
+	cacheHit bool
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+
+	done chan struct{}
+}
+
+// ID returns the farm-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Label returns the human-readable task label.
+func (j *Job) Label() string { return j.label }
+
+// Key returns the dedup/cache key ("" when the task opted out).
+func (j *Job) Key() string { return j.key }
+
+// Meta returns the caller payload attached at submission.
+func (j *Job) Meta() any { return j.meta }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is canceled, returning the
+// task's value and error.
+func (j *Job) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.value, j.err
+}
+
+// Result returns the value and error of a finished job (zero values while
+// the job is still pending).
+func (j *Job) Result() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.value, j.err
+}
+
+// View is a point-in-time, JSON-marshalable summary of a job (what
+// pimfarm's GET /v1/jobs endpoints return, minus the result body).
+type View struct {
+	ID       string     `json:"id"`
+	Label    string     `json:"label,omitempty"`
+	Key      string     `json:"key,omitempty"`
+	State    string     `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Attempts int        `json:"attempts,omitempty"`
+	Deduped  bool       `json:"deduped,omitempty"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	Enqueued time.Time  `json:"enqueued"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// View snapshots the job.
+func (j *Job) View() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:       j.id,
+		Label:    j.label,
+		Key:      j.key,
+		State:    j.state.String(),
+		Attempts: j.attempts,
+		Deduped:  j.deduped,
+		CacheHit: j.cacheHit,
+		Enqueued: j.enqueued,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}

@@ -1,0 +1,96 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAddGetEvict(t *testing.T) {
+	c := New[int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = (%d, %v), want (1, true)", v, ok)
+	}
+	c.Add("c", 3) // evicts "b": "a" was refreshed by the Get above
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; want LRU to evict it")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted; want it retained (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestAddRefreshesExisting(t *testing.T) {
+	c := New[string](2)
+	c.Add("k", "v1")
+	c.Add("k", "v2")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (same key)", c.Len())
+	}
+	if v, _ := c.Get("k"); v != "v2" {
+		t.Fatalf("Get = %q, want v2", v)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache[int]
+	c.Add("k", 1)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache returned a value")
+	}
+	if c.Len() != 0 || c.Cap() != 0 {
+		t.Fatal("nil cache has nonzero size")
+	}
+	c.Clear() // must not panic
+	if New[int](0) != nil || New[int](-1) != nil {
+		t.Fatal("New with non-positive capacity should return nil")
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New[int](4)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived Clear")
+	}
+	c.Add("c", 3)
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatal("cache unusable after Clear")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%32)
+				c.Add(k, i)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d exceeds capacity 16", c.Len())
+	}
+}
