@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	paperbench                 # all experiments on the quick workload set
-//	paperbench -exp fig10      # one experiment
-//	paperbench -set full       # the complete Table II sweep (slow)
-//	paperbench -csv            # machine-readable output
+//	paperbench                          # all experiments on the quick workload set
+//	paperbench -exp fig10               # one experiment
+//	paperbench -set full                # the complete Table II sweep (slow)
+//	paperbench -csv                     # machine-readable output
+//	paperbench -store /var/pimstore     # persist results; reruns skip simulation
+//	paperbench -write-baseline golden/  # record the current run as the golden set
+//	paperbench -check golden/           # fail (exit 1) if results drift from golden
 package main
 
 import (
@@ -20,22 +23,37 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, or one of "+strings.Join(repro.ExperimentNames(), ", "))
-		set      = flag.String("set", "quick", "workload set: mini, quick, full")
-		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut  = flag.Bool("json", false, "emit the experiment set as JSON instead of text")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "render-farm workers for the sweeps (1 = serial)")
+		exp       = flag.String("exp", "all", "experiment: all, or one of "+strings.Join(repro.ExperimentNames(), ", "))
+		set       = flag.String("set", "quick", "workload set: mini, quick, full")
+		csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut   = flag.Bool("json", false, "emit the experiment set as JSON instead of text")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "render-farm workers for the sweeps; must be at least 1 (1 = serial)")
+		storeDir  = flag.String("store", "", "durable result-store directory; reruns serve persisted results instead of re-simulating")
+		writeBase = flag.String("write-baseline", "", "write each experiment's results as golden baselines into this directory")
+		checkDir  = flag.String("check", "", "compare results against golden baselines in this directory; exit non-zero on drift")
+		relTol    = flag.Float64("tolerance", store.DefaultRelTol, "relative tolerance for -check summary-metric comparison")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}
+	if *parallel < 1 {
+		fatal(fmt.Errorf("-parallel must be at least 1, got %d", *parallel))
+	}
 	core.SetSweepParallelism(*parallel)
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			fatal(err)
+		}
+		core.SetResultStore(st)
+	}
 	wallStart := time.Now()
 	defer func() {
 		if err := prof.Stop(); err != nil {
@@ -88,14 +106,35 @@ func main() {
 			}
 			fmt.Println()
 		}
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		// Timing goes to stderr so repeated runs (e.g. cold vs warm store)
+		// produce byte-identical stdout.
+		fmt.Fprintf(os.Stderr, "(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
 	if *jsonOut {
 		if err := doc.WriteJSON(os.Stdout); err != nil {
 			fatal(err)
 		}
 	}
+	if *writeBase != "" {
+		n, err := store.WriteBaselines(*writeBase, doc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: wrote %d baselines to %s\n", n, *writeBase)
+	}
+	if *checkDir != "" {
+		rep, err := store.Check(*checkDir, doc, store.Tolerance{Rel: *relTol})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Write(os.Stderr)
+		if rep.Failed() {
+			failed = true
+		}
+	}
 	reportFarm(time.Since(wallStart))
+	reportStore()
 	if failed {
 		if err := prof.Stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -120,6 +159,20 @@ func reportFarm(wall time.Duration) {
 		f.Workers(), c.Submitted, c.Deduped,
 		busy.Round(time.Millisecond), wall.Round(time.Millisecond),
 		busy.Seconds()/wall.Seconds())
+}
+
+// reportStore summarizes durable-store traffic when -store was given: hits
+// are simulations skipped entirely, misses were computed and written
+// through. Stderr, like the farm line.
+func reportStore() {
+	st := core.ResultStore()
+	if st == nil {
+		return
+	}
+	c := st.Counters()
+	fmt.Fprintf(os.Stderr,
+		"store: %d hits, %d misses (%d corrupt), %d puts, %d entries / %d bytes on disk\n",
+		c.Hits, c.Misses, c.Corrupt, c.Puts, c.Entries, c.Bytes)
 }
 
 func sortedKeys(m map[string]float64) []string {

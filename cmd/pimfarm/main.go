@@ -26,8 +26,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 		retries   = flag.Int("retries", 0, "retry attempts per failed job")
 		drainSecs = flag.Int("drain", 60, "max seconds to drain on shutdown before forcing")
 		tracefile = flag.String("tracefile", "", "write farm job-lifecycle spans as Chrome trace JSON on shutdown")
+		storeDir  = flag.String("store", "", "durable result-store directory; completed jobs survive restarts")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -55,15 +58,30 @@ func main() {
 	if *tracefile != "" {
 		tracer = obs.NewTracer(0)
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Config{Dir: *storeDir, Tracer: tracer})
+		if err != nil {
+			fatal(err)
+		}
+		// The farm tier alone carries persistence here: it serves completed
+		// jobs from disk before the task runs and writes each computed result
+		// through exactly once (attaching the store to core.RunCached as well
+		// would just duplicate every write).
+		fmt.Fprintf(os.Stderr, "pimfarm: store %s (%d entries, %d bytes)\n",
+			st.Dir(), st.Len(), st.Size())
+	}
 	f := farm.New(farm.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheCap:   *cachecap,
 		Retries:    *retries,
 		Tracer:     tracer,
+		Tier:       core.StoreTier(st),
 	})
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(f)}
+	srv := &http.Server{Addr: *addr, Handler: newServer(f, st)}
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "pimfarm: listening on %s (%d workers, queue %d)\n",
@@ -91,8 +109,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pimfarm: forced farm shutdown:", err)
 	}
 	c := f.Counters()
-	fmt.Fprintf(os.Stderr, "pimfarm: drained (done=%d failed=%d canceled=%d deduped=%d cache_hits=%d)\n",
-		c.Done, c.Failed, c.Canceled, c.Deduped, c.CacheHits)
+	fmt.Fprintf(os.Stderr, "pimfarm: drained (done=%d failed=%d canceled=%d deduped=%d cache_hits=%d tier_hits=%d)\n",
+		c.Done, c.Failed, c.Canceled, c.Deduped, c.CacheHits, c.TierHits)
+	if st != nil {
+		sc := st.Counters()
+		fmt.Fprintf(os.Stderr, "pimfarm: store (hits=%d misses=%d corrupt=%d puts=%d entries=%d bytes=%d)\n",
+			sc.Hits, sc.Misses, sc.Corrupt, sc.Puts, sc.Entries, sc.Bytes)
+	}
 
 	if *tracefile != "" {
 		w, err := os.Create(*tracefile)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -59,20 +60,31 @@ type jobResponse struct {
 	Result  *obs.Snapshot `json:"result,omitempty"`
 }
 
-// server is the pimfarm HTTP API over one Farm.
+// server is the pimfarm HTTP API over one Farm and, optionally, the
+// durable result store backing it.
 type server struct {
-	farm *farm.Farm
-	mux  *http.ServeMux
+	farm  *farm.Farm
+	store *store.Store
+	mux   *http.ServeMux
 }
 
-// newServer builds the API handler (httptest mounts it directly).
-func newServer(f *farm.Farm) *server {
-	s := &server{farm: f, mux: http.NewServeMux()}
+// newServer builds the API handler (httptest mounts it directly); st may be
+// nil when the farm runs without persistence.
+func newServer(f *farm.Farm, st *store.Store) *server {
+	s := &server{farm: f, store: st, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	// Method-less fallbacks: a known path with the wrong verb answers a JSON
+	// 405 with Allow, and anything else a JSON 404 — clients always get a
+	// machine-readable error body.
+	s.mux.HandleFunc("/v1/jobs", methodNotAllowed("GET, POST"))
+	s.mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/healthz", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/varz", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/", handleUnknown)
 	return s
 }
 
@@ -165,7 +177,29 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.farm.Counters())
+	if s.store == nil {
+		writeJSON(w, http.StatusOK, s.farm.Counters())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		farm.Counters
+		Store store.Counters `json:"store"`
+	}{s.farm.Counters(), s.store.Counters()})
+}
+
+// methodNotAllowed answers a JSON 405 for a known path hit with an
+// unregistered verb, advertising the allowed set.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		httpError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("method %s not allowed for %s (allowed: %s)", r.Method, r.URL.Path, allow))
+	}
+}
+
+// handleUnknown answers a JSON 404 for paths outside the API surface.
+func handleUnknown(w http.ResponseWriter, r *http.Request) {
+	httpError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %q", r.URL.Path))
 }
 
 func parseDesign(s string) (config.Design, error) {

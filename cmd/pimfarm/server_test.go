@@ -10,14 +10,16 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *farm.Farm) {
 	t.Helper()
 	f := farm.New(farm.Config{Workers: 2, QueueDepth: 16})
-	ts := httptest.NewServer(newServer(f))
+	ts := httptest.NewServer(newServer(f, nil))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
@@ -184,6 +186,152 @@ func TestAPIBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+// decodeErrorBody asserts resp carries a JSON error object with the right
+// Content-Type and returns its message.
+func decodeErrorBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if body.Error == "" {
+		t.Error("error body has empty message")
+	}
+	return body.Error
+}
+
+// TestAPIJSONErrors pins the error contract: malformed bodies, unknown job
+// IDs, wrong verbs and unknown paths all answer JSON bodies with
+// Content-Type: application/json and the proper status code.
+func TestAPIJSONErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	client := ts.Client()
+
+	do := func(method, path, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	t.Run("malformed body is 400 JSON", func(t *testing.T) {
+		resp := do("POST", "/v1/jobs", `{"game":`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+		if msg := decodeErrorBody(t, resp); !strings.Contains(msg, "bad request body") {
+			t.Errorf("message %q does not mention the body", msg)
+		}
+	})
+	t.Run("unknown job id is 404 JSON", func(t *testing.T) {
+		resp := do("GET", "/v1/jobs/job-999999", "")
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status = %d, want 404", resp.StatusCode)
+		}
+		if msg := decodeErrorBody(t, resp); !strings.Contains(msg, "job-999999") {
+			t.Errorf("message %q does not name the job", msg)
+		}
+	})
+	t.Run("wrong verb is 405 JSON with Allow", func(t *testing.T) {
+		for path, allow := range map[string]string{
+			"/v1/jobs":            "GET, POST",
+			"/v1/jobs/job-000001": "GET",
+			"/varz":               "GET",
+			"/healthz":            "GET",
+		} {
+			resp := do("DELETE", path, "")
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("DELETE %s status = %d, want 405", path, resp.StatusCode)
+			}
+			if got := resp.Header.Get("Allow"); got != allow {
+				t.Errorf("DELETE %s Allow = %q, want %q", path, got, allow)
+			}
+			decodeErrorBody(t, resp)
+		}
+	})
+	t.Run("unknown path is 404 JSON", func(t *testing.T) {
+		resp := do("GET", "/v2/nope", "")
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status = %d, want 404", resp.StatusCode)
+		}
+		if msg := decodeErrorBody(t, resp); !strings.Contains(msg, "/v2/nope") {
+			t.Errorf("message %q does not name the path", msg)
+		}
+	})
+}
+
+// TestStoreSurvivesRestart is the persistence contract end to end: a job
+// simulated by one farm is served from the durable store by a fresh farm
+// pointed at the same directory — no re-simulation after a restart.
+func TestStoreSurvivesRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	dir := t.TempDir()
+	body := `{"game":"doom3","width":320,"height":240,"design":"baseline"}`
+
+	runOnce := func() (jobResponse, farm.Counters) {
+		st, err := store.Open(store.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := farm.New(farm.Config{Workers: 2, QueueDepth: 16, Tier: core.StoreTier(st)})
+		ts := httptest.NewServer(newServer(f, st))
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := f.Close(ctx); err != nil {
+				t.Error(err)
+			}
+		}()
+		jr, code := postJob(t, ts, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST status = %d", code)
+		}
+		final := pollJob(t, ts, jr.ID)
+		if final.State != "done" {
+			t.Fatalf("state = %s (%s)", final.State, final.Error)
+		}
+		return final, f.Counters()
+	}
+
+	cold, c1 := runOnce()
+	if c1.TierHits != 0 || c1.TierPuts != 1 {
+		t.Fatalf("cold run: tier_hits=%d tier_puts=%d, want 0/1", c1.TierHits, c1.TierPuts)
+	}
+
+	// Simulate a restart: new farm, new memory caches, same store dir.
+	core.ClearRunCache()
+	warm, c2 := runOnce()
+	if c2.TierHits != 1 {
+		t.Fatalf("warm run: tier_hits=%d, want 1 (job was re-simulated)", c2.TierHits)
+	}
+	if !warm.TierHit {
+		t.Error("warm job view does not report tier_hit")
+	}
+	if warm.Result == nil || cold.Result == nil {
+		t.Fatal("missing result bodies")
+	}
+	coldJSON, _ := json.Marshal(cold.Result)
+	warmJSON, _ := json.Marshal(warm.Result)
+	if string(coldJSON) != string(warmJSON) {
+		t.Error("restored result's metrics differ from the original run")
 	}
 }
 

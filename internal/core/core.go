@@ -65,7 +65,16 @@ type Result struct {
 
 	path    gpu.TexturePath
 	backend mem.Backend
+
+	// storedMetrics is the embedded pim-render/metrics/v1 snapshot of a
+	// Result restored from the durable store (which has no live path or
+	// backend to recompute one from); Metrics serves it verbatim.
+	storedMetrics *obs.Snapshot
 }
+
+// Restored reports whether the result was loaded from the durable store
+// rather than simulated in this process.
+func (r *Result) Restored() bool { return r.storedMetrics != nil }
 
 // PathDebug returns the texture path's diagnostic string, if it has one.
 func (r *Result) PathDebug() string {

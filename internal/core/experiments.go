@@ -65,10 +65,12 @@ func cacheKey(wl workload.Workload, opts Options) string {
 		opts.MTUs, opts.FrameIndex, opts.Frames, opts.HMCCubes)
 }
 
-// RunCached is Run with cross-experiment memoization. Concurrent callers
-// with equal keys share one execution: the singleflight group guarantees
-// at most one simulation per key is ever in flight, and completed results
-// are served from the bounded LRU.
+// RunCached is Run with cross-experiment memoization and optional durable
+// persistence: memory LRU → durable store (when one is attached via
+// SetResultStore) → compute, with the singleflight group spanning all
+// three tiers so at most one lookup-or-simulation per key is ever in
+// flight. Computed results are written through to the store; corrupt or
+// stale store entries simply miss and are recomputed and rewritten.
 func RunCached(wl workload.Workload, opts Options) (*Result, error) {
 	key := cacheKey(wl, opts)
 	if r, ok := runCache.Get(key); ok {
@@ -80,11 +82,21 @@ func RunCached(wl workload.Workload, opts Options) (*Result, error) {
 		if r, ok := runCache.Get(key); ok {
 			return r, nil
 		}
+		st := ResultStore()
+		if st != nil {
+			if r, ok := loadStoredResult(st, key); ok {
+				runCache.Add(key, r)
+				return r, nil
+			}
+		}
 		r, err := Run(wl, opts)
 		if err != nil {
 			return nil, err
 		}
 		runCache.Add(key, r)
+		if st != nil {
+			saveStoredResult(st, key, r)
+		}
 		return r, nil
 	})
 	return r, err

@@ -13,6 +13,12 @@ import (
 // latencies; histograms carry the memory backend's bandwidth-utilization
 // profile when the backend exposes one.
 func (r *Result) Metrics() *obs.Snapshot {
+	// A result restored from the durable store carries the snapshot its
+	// original run produced (including backend histograms no restored
+	// result could recompute); serve it verbatim.
+	if r.storedMetrics != nil {
+		return r.storedMetrics
+	}
 	s := obs.NewSnapshot("run")
 	s.Workload = r.Workload.Name()
 	s.Design = r.Design.String()

@@ -6,6 +6,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // benchmarkFarmSweep times one full fig10 design sweep over core.MiniSet
@@ -29,4 +30,70 @@ func BenchmarkFarmSweepSerial(b *testing.B) { benchmarkFarmSweep(b, 1) }
 
 func BenchmarkFarmSweepParallel(b *testing.B) {
 	benchmarkFarmSweep(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkFarmSweepColdStore measures the durable store's write-through
+// overhead: every iteration simulates the full sweep into a fresh store
+// directory. Compare against BenchmarkFarmSweepSerial for the persistence
+// tax and BenchmarkFarmSweepWarmStore for the payoff.
+func BenchmarkFarmSweepColdStore(b *testing.B) {
+	wls := core.MiniSet()
+	core.SetSweepParallelism(1)
+	b.Cleanup(func() {
+		core.SetSweepParallelism(0)
+		core.SetResultStore(nil)
+		core.ClearRunCache()
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(store.Config{Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.SetResultStore(st)
+		core.ClearRunCache()
+		b.StartTimer()
+		if _, err := repro.RunExperiment("fig10", wls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFarmSweepWarmStore measures a fully persisted rerun: the store
+// is populated once, then every iteration wipes the memory cache (a
+// simulated restart) and sweeps again, so all results load from disk and
+// no simulation runs.
+func BenchmarkFarmSweepWarmStore(b *testing.B) {
+	wls := core.MiniSet()
+	core.SetSweepParallelism(1)
+	st, err := store.Open(store.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.SetResultStore(st)
+	core.ClearRunCache()
+	b.Cleanup(func() {
+		core.SetSweepParallelism(0)
+		core.SetResultStore(nil)
+		core.ClearRunCache()
+	})
+	if _, err := repro.RunExperiment("fig10", wls); err != nil {
+		b.Fatal(err)
+	}
+	if st.Counters().Puts == 0 {
+		b.Fatal("warm-up populated nothing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		core.ClearRunCache()
+		b.StartTimer()
+		if _, err := repro.RunExperiment("fig10", wls); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if c := st.Counters(); c.Hits == 0 {
+		b.Fatal("warm sweep never hit the store")
+	}
 }

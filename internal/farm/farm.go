@@ -47,6 +47,18 @@ var (
 	ErrShutdown = errors.New("farm: shut down before job ran")
 )
 
+// Tier is a secondary result cache consulted after the in-memory LRU
+// misses — typically a durable on-disk store (internal/store via
+// core.StoreTier), so completed jobs survive restarts. Implementations
+// must be safe for concurrent use; Put is best-effort (a tier that drops
+// writes only costs recomputation).
+type Tier interface {
+	// Get returns the cached value for key, if present and valid.
+	Get(key string) (any, bool)
+	// Put stores a computed value for key.
+	Put(key string, v any)
+}
+
 // Task is one unit of work.
 type Task struct {
 	// Key identifies equal work: concurrent tasks with the same non-empty
@@ -84,6 +96,13 @@ type Config struct {
 	// RetainDone bounds how many finished jobs stay listable; <= 0 selects
 	// DefaultRetainDone.
 	RetainDone int
+	// Tier, when non-nil, is the second cache tier behind the in-memory
+	// LRU (memory → tier → compute). It is consulted on a worker just
+	// before a task would run — never on the Submit path — and computed
+	// results are written through. Singleflight spans tiers: followers of
+	// an in-flight key ride the leader whether its result came from the
+	// tier or was computed.
+	Tier Tier
 	// Tracer, when non-nil, receives job lifecycle spans (wall-clock
 	// microseconds since the farm started).
 	Tracer *obs.Tracer
@@ -102,6 +121,8 @@ type Counters struct {
 	Deduped       uint64  `json:"deduped"`
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheSize     int     `json:"cache_size"`
+	TierHits      uint64  `json:"tier_hits"`
+	TierPuts      uint64  `json:"tier_puts"`
 	Retries       uint64  `json:"retries"`
 	BusySeconds   float64 `json:"busy_seconds"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -138,6 +159,8 @@ type Farm struct {
 	canceled  atomic.Uint64
 	deduped   atomic.Uint64
 	cacheHits atomic.Uint64
+	tierHits  atomic.Uint64
+	tierPuts  atomic.Uint64
 	retries   atomic.Uint64
 	busyNs    atomic.Int64
 }
@@ -304,6 +327,8 @@ func (f *Farm) Counters() Counters {
 		Deduped:       f.deduped.Load(),
 		CacheHits:     f.cacheHits.Load(),
 		CacheSize:     f.cache.Len(),
+		TierHits:      f.tierHits.Load(),
+		TierPuts:      f.tierPuts.Load(),
 		Retries:       f.retries.Load(),
 		BusySeconds:   busy,
 		UptimeSeconds: up,
@@ -400,6 +425,22 @@ func (f *Farm) execute(track string, j *Job) {
 	j.started = start
 	j.mu.Unlock()
 
+	// Second-tier lookup (memory → tier → compute): a persisted result
+	// completes the job — and its singleflight followers — without
+	// running the task, and refills the memory LRU.
+	if j.key != "" && f.cfg.Tier != nil {
+		if v, ok := f.cfg.Tier.Get(j.key); ok {
+			f.tierHits.Add(1)
+			j.mu.Lock()
+			j.tierHit = true
+			j.mu.Unlock()
+			f.cache.Add(j.key, v)
+			f.cfg.Tracer.Instant("farm/store", j.label, f.us(time.Now()))
+			f.finish(j, Done, v, nil)
+			return
+		}
+	}
+
 	f.running.Add(1)
 	v, err := f.runWithRetry(j)
 	f.running.Add(-1)
@@ -419,6 +460,10 @@ func (f *Farm) execute(track string, j *Job) {
 	}
 	if j.key != "" {
 		f.cache.Add(j.key, v)
+		if f.cfg.Tier != nil {
+			f.cfg.Tier.Put(j.key, v)
+			f.tierPuts.Add(1)
+		}
 	}
 	f.finish(j, Done, v, nil)
 }

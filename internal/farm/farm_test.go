@@ -428,3 +428,114 @@ func TestCountersUtilization(t *testing.T) {
 		t.Fatal("BusyTime not accounted")
 	}
 }
+
+// mapTier is an in-memory Tier for testing the second-cache-tier hookup.
+type mapTier struct {
+	mu   sync.Mutex
+	m    map[string]any
+	gets int
+	puts int
+}
+
+func newMapTier() *mapTier { return &mapTier{m: map[string]any{}} }
+
+func (t *mapTier) Get(key string) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gets++
+	v, ok := t.m[key]
+	return v, ok
+}
+
+func (t *mapTier) Put(key string, v any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.puts++
+	t.m[key] = v
+}
+
+// TestTierServesAndWritesThrough pins the tier contract: a keyed job's
+// result is written through after compute, a later farm (fresh memory
+// cache) serves the same key from the tier without running the task, and
+// tier traffic shows up in the counters and the job view.
+func TestTierServesAndWritesThrough(t *testing.T) {
+	tier := newMapTier()
+	var runs atomic.Int32
+	task := func(key string) Task {
+		return Task{Key: key, Run: func(context.Context) (any, error) {
+			runs.Add(1)
+			return &value{42}, nil
+		}}
+	}
+
+	f1 := New(Config{Workers: 1, Tier: tier})
+	j, err := f1.Submit(context.Background(), task("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := j.Wait(context.Background()); err != nil || v.(*value).n != 42 {
+		t.Fatalf("wait: %v, %v", v, err)
+	}
+	mustClose(t, f1)
+	if runs.Load() != 1 {
+		t.Fatalf("runs = %d, want 1", runs.Load())
+	}
+	c := f1.Counters()
+	if c.TierPuts != 1 || c.TierHits != 0 {
+		t.Fatalf("f1 counters: tier_puts=%d tier_hits=%d", c.TierPuts, c.TierHits)
+	}
+
+	// A second farm with an empty memory cache — the tier (e.g. the durable
+	// store after a restart) answers instead of the task.
+	f2 := New(Config{Workers: 1, Tier: tier})
+	defer mustClose(t, f2)
+	j2, err := f2.Submit(context.Background(), task("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := j2.Wait(context.Background()); err != nil || v.(*value).n != 42 {
+		t.Fatalf("wait: %v, %v", v, err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("tier hit still ran the task (runs = %d)", runs.Load())
+	}
+	if got := f2.Counters(); got.TierHits != 1 {
+		t.Fatalf("f2 tier_hits = %d, want 1", got.TierHits)
+	}
+	if view := j2.View(); !view.TierHit {
+		t.Error("job view does not report tier_hit")
+	}
+
+	// Within one farm the memory LRU answers first: a repeat submission is
+	// a cache hit, not more tier traffic.
+	before := tier.gets
+	j3, err := f2.Submit(context.Background(), task("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j3.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if view := j3.View(); !view.CacheHit && !view.Deduped {
+		t.Error("repeat submission was not a memory-cache hit")
+	}
+	if tier.gets != before {
+		t.Error("memory-cache hit still consulted the tier")
+	}
+
+	// Unkeyed jobs bypass the tier entirely.
+	j4, err := f2.Submit(context.Background(), Task{Run: func(context.Context) (any, error) {
+		return &value{7}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j4.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tier.mu.Lock()
+	defer tier.mu.Unlock()
+	if len(tier.m) != 1 {
+		t.Fatalf("tier holds %d entries, want 1 (unkeyed job leaked through)", len(tier.m))
+	}
+}

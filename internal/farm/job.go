@@ -58,6 +58,7 @@ type Job struct {
 	attempts int
 	deduped  bool
 	cacheHit bool
+	tierHit  bool
 	enqueued time.Time
 	started  time.Time
 	finished time.Time
@@ -119,6 +120,7 @@ type View struct {
 	Attempts int        `json:"attempts,omitempty"`
 	Deduped  bool       `json:"deduped,omitempty"`
 	CacheHit bool       `json:"cache_hit,omitempty"`
+	TierHit  bool       `json:"tier_hit,omitempty"`
 	Enqueued time.Time  `json:"enqueued"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
@@ -136,6 +138,7 @@ func (j *Job) View() View {
 		Attempts: j.attempts,
 		Deduped:  j.deduped,
 		CacheHit: j.cacheHit,
+		TierHit:  j.tierHit,
 		Enqueued: j.enqueued,
 	}
 	if j.err != nil {

@@ -5,7 +5,10 @@
 // buffer and the color/frame buffers.
 package mem
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Class labels a memory access with the pipeline stage that produced it.
 // These are the five categories of the paper's Fig. 2 bandwidth breakdown.
@@ -114,6 +117,34 @@ func (t *Traffic) Add(o *Traffic) {
 		t.bytes[c][0] += o.bytes[c][0]
 		t.bytes[c][1] += o.bytes[c][1]
 	}
+}
+
+// MarshalJSON encodes the per-class [read, write] byte counts keyed by
+// class name, so traffic accounting survives the durable result-store
+// round trip despite the unexported array.
+func (t Traffic) MarshalJSON() ([]byte, error) {
+	m := make(map[string][2]uint64, NumClasses)
+	for c := Class(0); c < NumClasses; c++ {
+		m[c.String()] = [2]uint64{t.bytes[c][Read], t.bytes[c][Write]}
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON restores counts written by MarshalJSON. Unknown class
+// names are ignored and absent classes stay zero, so documents from older
+// or newer class sets still load.
+func (t *Traffic) UnmarshalJSON(data []byte) error {
+	var m map[string][2]uint64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*t = Traffic{}
+	for c := Class(0); c < NumClasses; c++ {
+		if v, ok := m[c.String()]; ok {
+			t.bytes[c][Read], t.bytes[c][Write] = v[0], v[1]
+		}
+	}
+	return nil
 }
 
 // Share returns the fraction (0..1) of total traffic contributed by class c;

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"encoding/json"
 	"testing"
 	"testing/quick"
 )
@@ -119,5 +120,38 @@ func TestRegionsDisjoint(t *testing.T) {
 		if regions[i]-regions[i-1] < 1<<30 {
 			t.Fatalf("regions %d and %d closer than 1GiB", i-1, i)
 		}
+	}
+}
+
+func TestTrafficJSONRoundTrip(t *testing.T) {
+	var tr Traffic
+	tr.Record(ClassTexture, Read, 64)
+	tr.Record(ClassTexture, Write, 16)
+	tr.Record(ClassZ, Read, 128)
+	tr.Record(ClassColor, Write, 32)
+
+	data, err := json.Marshal(&tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Traffic
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != tr {
+		t.Fatalf("round-trip mismatch: doc %s restored to %v, want %v", data, back, tr)
+	}
+
+	// Unknown classes in the document are skipped, not an error (forward
+	// compatibility with documents from a newer class set).
+	var fut Traffic
+	if err := json.Unmarshal([]byte(`{"texture":[1,2],"holograms":[3,4]}`), &fut); err != nil {
+		t.Fatal(err)
+	}
+	if fut.Bytes(ClassTexture, Read) != 1 || fut.Bytes(ClassTexture, Write) != 2 {
+		t.Fatalf("known class not restored: %+v", fut)
+	}
+	if fut.Total() != 3 {
+		t.Fatalf("unknown class leaked into totals: %d", fut.Total())
 	}
 }

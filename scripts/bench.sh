@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Runs the farm sweep benchmarks (serial, parallel, cold-store, warm-store)
+# and writes BENCH_pr3.json: one record per benchmark with ns/op, so the
+# perf trajectory across PRs is machine-readable. The cold/warm pair prices
+# the durable store: cold = simulate + write-through, warm = serve every
+# cell from disk with no simulation.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+out=${1:-BENCH_pr3.json}
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench 'BenchmarkFarmSweep(Serial|Parallel|ColdStore|WarmStore)$' \
+    -benchtime "${BENCHTIME:-1x}" -count "${COUNT:-1}" -timeout 30m \
+    ./internal/farm/ | tee /tmp/bench_pr3.txt
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    printf "%s{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s}", sep, name, $2, $3
+    sep = ",\n  "
+}
+END { if (sep == "") exit 1 }
+' /tmp/bench_pr3.txt >/tmp/bench_pr3_rows.txt
+
+{
+    printf '{\n  "schema": "pim-render/bench/v1",\n  "benchmarks": [\n  '
+    cat /tmp/bench_pr3_rows.txt
+    printf '\n  ]\n}\n'
+} >"$out"
+
+echo "wrote $out"
