@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -243,6 +244,27 @@ func BenchmarkAblationMultiHMC(b *testing.B) {
 	}
 	b.ReportMetric(speedup, "two_cubes_over_one")
 }
+
+// BenchmarkSimulateShards1/2/8 measure the tile-parallel frame scan: one
+// uncached single-frame simulation per iteration, identical output at
+// every shard count, so ns/op directly exposes the fork/join speedup
+// (scripts/bench.sh records the family into BENCH_pr4.json).
+func benchSimulateShards(b *testing.B, shards int) {
+	wl := workload.MustGet("doom3", 640, 480)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := repro.SimulateContext(context.Background(), wl,
+			repro.WithDesign(repro.Baseline),
+			repro.WithShards(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateShards1(b *testing.B) { benchSimulateShards(b, 1) }
+func BenchmarkSimulateShards2(b *testing.B) { benchSimulateShards(b, 2) }
+func BenchmarkSimulateShards8(b *testing.B) { benchSimulateShards(b, 8) }
 
 // BenchmarkRenderFrameBaseline and ...ATFIM give raw simulator throughput
 // (wall-clock per simulated frame) for profiling the simulator itself.

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
@@ -33,6 +35,7 @@ func main() {
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut   = flag.Bool("json", false, "emit the experiment set as JSON instead of text")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "render-farm workers for the sweeps; must be at least 1 (1 = serial)")
+		shards    = flag.Int("shards", 0, "frame tile-scan worker shards per simulation (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 		storeDir  = flag.String("store", "", "durable result-store directory; reruns serve persisted results instead of re-simulating")
 		writeBase = flag.String("write-baseline", "", "write each experiment's results as golden baselines into this directory")
 		checkDir  = flag.String("check", "", "compare results against golden baselines in this directory; exit non-zero on drift")
@@ -47,6 +50,7 @@ func main() {
 		fatal(fmt.Errorf("-parallel must be at least 1, got %d", *parallel))
 	}
 	core.SetSweepParallelism(*parallel)
+	core.SetDefaultShards(*shards)
 	if *storeDir != "" {
 		st, err := store.Open(store.Config{Dir: *storeDir})
 		if err != nil {
@@ -73,7 +77,13 @@ func main() {
 		fatal(fmt.Errorf("unknown workload set %q (mini, quick, full)", *set))
 	}
 
-	names := repro.ExperimentNames()
+	// Ctrl-C cancels the in-flight sweep (through the registry's context)
+	// instead of killing the process mid-simulation.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
+	reg := repro.Registry()
+	names := reg.Names()
 	if *exp != "all" {
 		names = []string{*exp}
 	}
@@ -81,7 +91,7 @@ func main() {
 	failed := false
 	for _, name := range names {
 		start := time.Now()
-		e, err := repro.RunExperiment(name, wls)
+		e, err := reg.Run(ctx, name, wls)
 		if err != nil {
 			// Keep running the remaining experiments; report the failure
 			// and exit non-zero at the end.

@@ -42,9 +42,11 @@ func main() {
 		drainSecs = flag.Int("drain", 60, "max seconds to drain on shutdown before forcing")
 		tracefile = flag.String("tracefile", "", "write farm job-lifecycle spans as Chrome trace JSON on shutdown")
 		storeDir  = flag.String("store", "", "durable result-store directory; completed jobs survive restarts")
+		shards    = flag.Int("shards", 0, "default frame tile-scan shards for jobs that do not set one (0 = GOMAXPROCS, 1 = serial)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	core.SetDefaultShards(*shards)
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/farm"
@@ -34,6 +35,11 @@ type jobRequest struct {
 	MTUs                 int     `json:"mtus,omitempty"`
 	Compressed           bool    `json:"compressed,omitempty"`
 	HMCCubes             int     `json:"hmc_cubes,omitempty"`
+
+	// Shards is a host-speed knob (worker goroutines per frame); results
+	// are byte-identical at any value, so it is excluded from the dedup
+	// key — equal jobs differing only in shards collapse.
+	Shards int `json:"shards,omitempty"`
 }
 
 // options converts the request to simulator options.
@@ -49,6 +55,7 @@ func (r *jobRequest) options(design config.Design) core.Options {
 		MTUs:                 r.MTUs,
 		Compressed:           r.Compressed,
 		HMCCubes:             r.HMCCubes,
+		Shards:               r.Shards,
 	}
 }
 
@@ -75,13 +82,16 @@ func newServer(f *farm.Farm, st *store.Store) *server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	// Method-less fallbacks: a known path with the wrong verb answers a JSON
 	// 405 with Allow, and anything else a JSON 404 — clients always get a
 	// machine-readable error body.
 	s.mux.HandleFunc("/v1/jobs", methodNotAllowed("GET, POST"))
-	s.mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET, DELETE"))
+	s.mux.HandleFunc("/v1/experiments", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/healthz", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/varz", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/", handleUnknown)
@@ -122,8 +132,10 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Key:   core.CacheKey(wl, opts),
 		Label: fmt.Sprintf("%s@%dx%d/%s", req.Game, req.Width, req.Height, design),
 		Meta:  &req,
-		Run: func(context.Context) (any, error) {
-			res, err := core.RunCached(wl, opts)
+		Run: func(runCtx context.Context) (any, error) {
+			// The job's own context: canceled by DELETE /v1/jobs/{id},
+			// by a waiting client disconnecting, or on forced shutdown.
+			res, err := core.RunCachedContext(runCtx, wl, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -139,6 +151,19 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		default:
 			httpError(w, http.StatusInternalServerError, err)
 		}
+		return
+	}
+
+	// ?wait=true turns the submit synchronous: the response carries the
+	// finished job (metrics included). A client that hangs up while
+	// waiting cancels the job — abandoned work is abandoned promptly.
+	if r.URL.Query().Get("wait") == "true" {
+		if _, err := job.Wait(r.Context()); err != nil && r.Context().Err() != nil {
+			s.farm.Cancel(job.ID())
+			httpError(w, http.StatusRequestTimeout, fmt.Errorf("client went away: %w", err))
+			return
+		}
+		s.writeJob(w, http.StatusOK, job)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobResponse{View: job.View(), Request: &req})
@@ -159,6 +184,36 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
+	s.writeJob(w, http.StatusOK, j)
+}
+
+// handleCancel is DELETE /v1/jobs/{id}: cancel a queued or running job.
+// Unknown ids answer 404; jobs already terminal answer 409 (their outcome
+// is settled); a successful cancellation answers 200 with the job view.
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.farm.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if !s.farm.Cancel(id) {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("job %s already %s", id, j.State()))
+		return
+	}
+	s.writeJob(w, http.StatusOK, j)
+}
+
+// handleExperiments is GET /v1/experiments: the paper's figure/table
+// catalog in presentation order (the names RunExperiment accepts).
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": repro.Registry().Names()})
+}
+
+// writeJob renders the full job response: lifecycle view, original
+// request, and the metrics snapshot once the job is done.
+func (s *server) writeJob(w http.ResponseWriter, status int, j *farm.Job) {
 	resp := jobResponse{View: j.View()}
 	if req, ok := j.Meta().(*jobRequest); ok {
 		resp.Request = req
@@ -168,7 +223,7 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 			resp.Result = res.Metrics()
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, status, resp)
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {

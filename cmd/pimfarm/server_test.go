@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/obs"
@@ -250,16 +251,17 @@ func TestAPIJSONErrors(t *testing.T) {
 	t.Run("wrong verb is 405 JSON with Allow", func(t *testing.T) {
 		for path, allow := range map[string]string{
 			"/v1/jobs":            "GET, POST",
-			"/v1/jobs/job-000001": "GET",
+			"/v1/jobs/job-000001": "GET, DELETE",
+			"/v1/experiments":     "GET",
 			"/varz":               "GET",
 			"/healthz":            "GET",
 		} {
-			resp := do("DELETE", path, "")
+			resp := do("PUT", path, "")
 			if resp.StatusCode != http.StatusMethodNotAllowed {
-				t.Fatalf("DELETE %s status = %d, want 405", path, resp.StatusCode)
+				t.Fatalf("PUT %s status = %d, want 405", path, resp.StatusCode)
 			}
 			if got := resp.Header.Get("Allow"); got != allow {
-				t.Errorf("DELETE %s Allow = %q, want %q", path, got, allow)
+				t.Errorf("PUT %s Allow = %q, want %q", path, got, allow)
 			}
 			decodeErrorBody(t, resp)
 		}
@@ -332,6 +334,188 @@ func TestStoreSurvivesRestart(t *testing.T) {
 	warmJSON, _ := json.Marshal(warm.Result)
 	if string(coldJSON) != string(warmJSON) {
 		t.Error("restored result's metrics differ from the original run")
+	}
+}
+
+// TestExperimentsEndpoint pins GET /v1/experiments to the registry's
+// presentation order.
+func TestExperimentsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Experiments []string `json:"experiments"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := repro.Registry().Names()
+	if len(body.Experiments) != len(want) {
+		t.Fatalf("listed %d experiments, want %d", len(body.Experiments), len(want))
+	}
+	for i := range want {
+		if body.Experiments[i] != want[i] {
+			t.Fatalf("experiments[%d] = %q, want %q", i, body.Experiments[i], want[i])
+		}
+	}
+}
+
+// TestJobCancel is the DELETE /v1/jobs/{id} contract: a queued job cancels
+// (200 with the canceled view), a second DELETE answers 409, and an unknown
+// id 404.
+func TestJobCancel(t *testing.T) {
+	// One worker: the first job occupies it, so the second stays queued
+	// and its cancellation is deterministic.
+	f := farm.New(farm.Config{Workers: 1, QueueDepth: 16})
+	ts := httptest.NewServer(newServer(f, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := f.Close(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+
+	blocker, code := postJob(t, ts, `{"game":"doom3","width":320,"height":240,"design":"baseline"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status = %d", code)
+	}
+	queued, code := postJob(t, ts, `{"game":"doom3","width":320,"height":240,"design":"bpim"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status = %d", code)
+	}
+
+	del := func(id string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := del(queued.ID)
+	var jr jobResponse
+	err := json.NewDecoder(resp.Body).Decode(&jr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d, want 200", resp.StatusCode)
+	}
+	if jr.State != "canceled" {
+		t.Fatalf("canceled job state = %q", jr.State)
+	}
+
+	resp = del(queued.ID)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second DELETE status = %d, want 409", resp.StatusCode)
+	}
+	decodeErrorBody(t, resp)
+
+	resp = del("job-999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown status = %d, want 404", resp.StatusCode)
+	}
+	decodeErrorBody(t, resp)
+
+	if final := pollJob(t, ts, blocker.ID); final.State != "done" {
+		t.Fatalf("blocker state = %s (%s), want done", final.State, final.Error)
+	}
+}
+
+// TestSubmitWaitAndDisconnect covers ?wait=true: a live client gets the
+// finished job inline, and a client that hangs up while waiting cancels
+// the abandoned job so the farm records it canceled.
+func TestSubmitWaitAndDisconnect(t *testing.T) {
+	f := farm.New(farm.Config{Workers: 1, QueueDepth: 16})
+	ts := httptest.NewServer(newServer(f, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := f.Close(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+
+	// Occupy the single worker so the waited-on job stays queued until
+	// the client has provably gone away.
+	blocker, code := postJob(t, ts, `{"game":"doom3","width":320,"height":240,"design":"baseline"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status = %d", code)
+	}
+
+	reqCtx, hangUp := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, ts.URL+"/v1/jobs?wait=true",
+		strings.NewReader(`{"game":"doom3","width":320,"height":240,"design":"stfim"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the submit land and start waiting
+	hangUp()
+	if err := <-errCh; err == nil {
+		t.Fatal("hung-up request reported no error")
+	}
+
+	// The abandoned job must end canceled (it never got a worker).
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var canceled bool
+		for _, j := range f.Jobs() {
+			if j.State() == farm.Canceled {
+				canceled = true
+			}
+		}
+		if canceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned job never became canceled")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if final := pollJob(t, ts, blocker.ID); final.State != "done" {
+		t.Fatalf("blocker state = %s (%s), want done", final.State, final.Error)
+	}
+
+	// A live waited-on submission returns the finished job inline (the
+	// blocker's cell is cached now, so this is immediate).
+	resp, err := http.Post(ts.URL+"/v1/jobs?wait=true", "application/json",
+		strings.NewReader(`{"game":"doom3","width":320,"height":240,"design":"baseline"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr jobResponse
+	err = json.NewDecoder(resp.Body).Decode(&jr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait=true status = %d, want 200", resp.StatusCode)
+	}
+	if jr.State != "done" || jr.Result == nil {
+		t.Fatalf("wait=true job state = %q (result %v), want done with result", jr.State, jr.Result != nil)
 	}
 }
 

@@ -4,13 +4,15 @@
 // Usage:
 //
 //	pimsim -game doom3 -width 640 -height 480 -design atfim \
-//	       -threshold 0.0314 -png frame.png
+//	       -threshold 0.0314 -shards 8 -png frame.png
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro"
@@ -30,6 +32,7 @@ func main() {
 		compressed = flag.Bool("compressed", false, "fixed-rate texture block compression (not with atfim)")
 		cubes      = flag.Int("cubes", 1, "number of HMC cubes (Section V-E)")
 		frames     = flag.Int("frames", 1, "number of frames to render")
+		shards     = flag.Int("shards", 0, "frame tile-scan worker shards (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 		pngPath    = flag.String("png", "", "write the rendered frame to this PNG file")
 		compare    = flag.Bool("psnr", false, "also render the baseline and report PSNR against it")
 		jsonOut    = flag.Bool("json", false, "emit the metrics snapshot as JSON instead of text")
@@ -56,20 +59,30 @@ func main() {
 		fatal(err)
 	}
 
-	opts := repro.Options{
-		Design:         design,
-		AngleThreshold: float32(*threshold),
-		DisableAniso:   *noAniso,
-		Compressed:     *compressed,
-		HMCCubes:       *cubes,
-		Frames:         *frames,
+	// Ctrl-C cancels the simulation at the next tile-group boundary (the
+	// v2 context-aware entry point) instead of killing the process mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	simOpts := []repro.Option{
+		repro.WithDesign(design),
+		repro.WithAngleThreshold(float32(*threshold)),
+		repro.WithHMCCubes(*cubes),
+		repro.WithFrames(*frames),
+		repro.WithShards(*shards),
+	}
+	if *noAniso {
+		simOpts = append(simOpts, repro.WithAnisoDisabled())
+	}
+	if *compressed {
+		simOpts = append(simOpts, repro.WithCompression())
 	}
 	var tracer *repro.Tracer
 	if *traceFile != "" {
 		tracer = repro.NewTracer(*traceCap)
-		opts.Trace = tracer
+		simOpts = append(simOpts, repro.WithTracer(tracer))
 	}
-	res, err := repro.Simulate(wl, opts)
+	res, err := repro.SimulateContext(ctx, wl, simOpts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,7 +108,10 @@ func main() {
 	// becomes a gauge instead of a text line.
 	psnr, havePSNR := 0.0, false
 	if *compare && design != config.Baseline {
-		base, err := repro.Simulate(wl, repro.Options{Design: config.Baseline, Frames: *frames})
+		base, err := repro.SimulateContext(ctx, wl,
+			repro.WithDesign(config.Baseline),
+			repro.WithFrames(*frames),
+			repro.WithShards(*shards))
 		if err != nil {
 			fatal(err)
 		}

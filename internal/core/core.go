@@ -4,8 +4,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/dram"
@@ -44,6 +47,11 @@ type Options struct {
 	// HMCCubes sets the number of HMC cubes attached to the GPU (Section
 	// V-E's multi-HMC scenario); 0 or 1 means a single cube.
 	HMCCubes int
+	// Shards is the number of worker goroutines sharding one frame's
+	// tile-group scan (0 = DefaultShards, 1 = serial). Sharding is a host
+	// parallelization knob only: simulated results are byte-identical at
+	// any shard count, so Shards is excluded from cache and store keys.
+	Shards int
 	// Trace, when non-nil, receives cycle-timeline spans from every
 	// instrumented unit (pipeline stages, texture units, offload packages,
 	// DRAM/HMC bandwidth meters). Tracing never perturbs simulated cycle
@@ -191,9 +199,33 @@ func cachedScene(spec scene.Spec, compressed bool) *scene.Scene {
 	return sc
 }
 
+// defaultShards is the Shards value applied when Options.Shards is zero;
+// non-positive means runtime.GOMAXPROCS(0).
+var defaultShards atomic.Int32
+
+// SetDefaultShards sets the process-wide shard count used when
+// Options.Shards is zero. Non-positive restores the GOMAXPROCS default.
+func SetDefaultShards(n int) { defaultShards.Store(int32(n)) }
+
+// DefaultShards returns the shard count applied when Options.Shards is
+// zero: the SetDefaultShards override, else GOMAXPROCS.
+func DefaultShards() int {
+	if n := int(defaultShards.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Run simulates a workload under the given options and returns its
 // measurements.
 func Run(wl workload.Workload, opts Options) (*Result, error) {
+	return RunContext(context.Background(), wl, opts)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// frames and at tile-group boundaries inside each frame, so an abandoned
+// run stops within one group's worth of work.
+func RunContext(ctx context.Context, wl workload.Workload, opts Options) (*Result, error) {
 	cfg := buildConfig(opts)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -202,7 +234,7 @@ func Run(wl workload.Workload, opts Options) (*Result, error) {
 	if !cfg.MortonLayout {
 		spec.Layout = texture.LayoutLinear
 	}
-	return runScene(cachedScene(spec, cfg.TextureCompression), wl, cfg, opts)
+	return runScene(ctx, cachedScene(spec, cfg.TextureCompression), wl, cfg, opts)
 }
 
 // RunScene simulates a pre-built scene (used by trace replay and tests).
@@ -211,12 +243,28 @@ func RunScene(sc *scene.Scene, wl workload.Workload, opts Options) (*Result, err
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return runScene(sc, wl, cfg, opts)
+	return runScene(context.Background(), sc, wl, cfg, opts)
 }
 
-func runScene(sc *scene.Scene, wl workload.Workload, cfg config.Config, opts Options) (*Result, error) {
+func runScene(ctx context.Context, sc *scene.Scene, wl workload.Workload, cfg config.Config, opts Options) (*Result, error) {
 	backend, path, cube := buildDesign(cfg, opts.HMCCubes)
 	pipe := gpu.NewPipeline(cfg, wl.Width, wl.Height, backend, path)
+	shards := opts.Shards
+	if shards == 0 {
+		shards = DefaultShards()
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	pipe.Shards = shards
+	pipe.NewWorker = func() (mem.Backend, gpu.TexturePath, func() uint64) {
+		wb, wp, wcube := buildDesign(cfg, opts.HMCCubes)
+		var internal func() uint64
+		if wcube != nil {
+			internal = func() uint64 { return wcube.TotalStats().VaultBytes }
+		}
+		return wb, wp, internal
+	}
 	if opts.Trace != nil {
 		pipe.SetTracer(opts.Trace)
 		if ta, ok := backend.(obs.TraceAttacher); ok {
@@ -245,18 +293,21 @@ func runScene(sc *scene.Scene, wl workload.Workload, cfg config.Config, opts Opt
 		if idx >= len(sc.Cameras) {
 			idx = len(sc.Cameras) - 1
 		}
-		res, err := pipe.RenderFrame(sc, idx)
+		res, err := pipe.RenderFrameContext(ctx, sc, idx)
 		if err != nil {
 			return nil, err
 		}
-		// Merge the texture path's traffic into the frame traffic.
+		// Merge the frame-level texture path's traffic into the frame
+		// traffic (worker-path traffic is already folded in per group).
 		if tr, ok := path.(trafficReporter); ok {
 			res.Traffic.Add(tr.Traffic())
 		}
-		// Fill the external/internal byte counts for the energy model.
+		// Fill the external/internal byte counts for the energy model; the
+		// pipeline already merged the worker cubes' internal bytes, the
+		// frame-level cube adds the geometry/resolve share.
 		res.Activity.ExternalBytes = res.Traffic.Total()
 		if cube != nil {
-			res.Activity.InternalBytes = cube.TotalStats().VaultBytes
+			res.Activity.InternalBytes += cube.TotalStats().VaultBytes
 		}
 		if acc == nil {
 			acc = res

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/area"
@@ -72,34 +74,52 @@ func cacheKey(wl workload.Workload, opts Options) string {
 // flight. Computed results are written through to the store; corrupt or
 // stale store entries simply miss and are recomputed and rewritten.
 func RunCached(wl workload.Workload, opts Options) (*Result, error) {
+	return RunCachedContext(context.Background(), wl, opts)
+}
+
+// RunCachedContext is RunCached with cancellation. The caller's context is
+// checked before any tier is consulted and threaded into the simulation; a
+// follower whose singleflight leader was canceled retries with its own
+// live context instead of inheriting the foreign cancellation.
+func RunCachedContext(ctx context.Context, wl workload.Workload, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := cacheKey(wl, opts)
 	if r, ok := runCache.Get(key); ok {
 		return r, nil
 	}
-	r, err, _ := runFlight.Do(key, func() (*Result, error) {
-		// Re-check under the flight: a call that completed between our
-		// cache miss and winning the flight may have filled the entry.
-		if r, ok := runCache.Get(key); ok {
-			return r, nil
-		}
-		st := ResultStore()
-		if st != nil {
-			if r, ok := loadStoredResult(st, key); ok {
-				runCache.Add(key, r)
+	for {
+		r, err, shared := runFlight.Do(key, func() (*Result, error) {
+			// Re-check under the flight: a call that completed between our
+			// cache miss and winning the flight may have filled the entry.
+			if r, ok := runCache.Get(key); ok {
 				return r, nil
 			}
+			st := ResultStore()
+			if st != nil {
+				if r, ok := loadStoredResult(st, key); ok {
+					runCache.Add(key, r)
+					return r, nil
+				}
+			}
+			r, err := RunContext(ctx, wl, opts)
+			if err != nil {
+				return nil, err
+			}
+			runCache.Add(key, r)
+			if st != nil {
+				saveStoredResult(st, key, r)
+			}
+			return r, nil
+		})
+		if err != nil && shared && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The leader we shared was canceled but we were not: retry.
+			continue
 		}
-		r, err := Run(wl, opts)
-		if err != nil {
-			return nil, err
-		}
-		runCache.Add(key, r)
-		if st != nil {
-			saveStoredResult(st, key, r)
-		}
-		return r, nil
-	})
-	return r, err
+		return r, err
+	}
 }
 
 // ClearRunCache empties the memoization cache (tests use it to bound
@@ -117,19 +137,19 @@ type Experiment struct {
 // Fig2MemoryBreakdown reproduces Fig. 2: the share of memory traffic by
 // access class under the baseline, per workload. The paper reports texture
 // fetches averaging ~60% of total traffic.
-func Fig2MemoryBreakdown(wls []workload.Workload) (*Experiment, error) {
+func Fig2MemoryBreakdown(ctx context.Context, wls []workload.Workload) (*Experiment, error) {
 	tab := stats.NewTable("Fig 2: memory bandwidth usage breakdown (Baseline)",
 		"workload", "texture%", "frame%", "geometry%", "z-test%", "color%")
 	var specs []runSpec
 	for _, wl := range wls {
 		specs = append(specs, runSpec{wl, Options{Design: config.Baseline}})
 	}
-	if err := prefetch(specs); err != nil {
+	if err := prefetch(ctx, specs); err != nil {
 		return nil, err
 	}
 	var texShare []float64
 	for _, wl := range wls {
-		res, err := RunCached(wl, Options{Design: config.Baseline})
+		res, err := RunCachedContext(ctx, wl, Options{Design: config.Baseline})
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +173,7 @@ func Fig2MemoryBreakdown(wls []workload.Workload) (*Experiment, error) {
 
 // Fig4AnisoOff reproduces Fig. 4: texture-filtering speedup and texture
 // memory traffic when anisotropic filtering is disabled on the baseline.
-func Fig4AnisoOff(wls []workload.Workload) (*Experiment, error) {
+func Fig4AnisoOff(ctx context.Context, wls []workload.Workload) (*Experiment, error) {
 	tab := stats.NewTable("Fig 4: anisotropic filtering disabled (Baseline)",
 		"workload", "filter speedup", "normalized traffic")
 	var specs []runSpec
@@ -162,16 +182,16 @@ func Fig4AnisoOff(wls []workload.Workload) (*Experiment, error) {
 			runSpec{wl, Options{Design: config.Baseline}},
 			runSpec{wl, Options{Design: config.Baseline, DisableAniso: true}})
 	}
-	if err := prefetch(specs); err != nil {
+	if err := prefetch(ctx, specs); err != nil {
 		return nil, err
 	}
 	var sp, tr []float64
 	for _, wl := range wls {
-		on, err := RunCached(wl, Options{Design: config.Baseline})
+		on, err := RunCachedContext(ctx, wl, Options{Design: config.Baseline})
 		if err != nil {
 			return nil, err
 		}
-		off, err := RunCached(wl, Options{Design: config.Baseline, DisableAniso: true})
+		off, err := RunCachedContext(ctx, wl, Options{Design: config.Baseline, DisableAniso: true})
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +215,7 @@ func Fig4AnisoOff(wls []workload.Workload) (*Experiment, error) {
 
 // Fig5BPIM reproduces Fig. 5: B-PIM's 3D-rendering and texture-filtering
 // speedups over the baseline.
-func Fig5BPIM(wls []workload.Workload) (*Experiment, error) {
+func Fig5BPIM(ctx context.Context, wls []workload.Workload) (*Experiment, error) {
 	tab := stats.NewTable("Fig 5: B-PIM speedup over Baseline",
 		"workload", "render speedup", "filter speedup")
 	var specs []runSpec
@@ -204,16 +224,16 @@ func Fig5BPIM(wls []workload.Workload) (*Experiment, error) {
 			runSpec{wl, Options{Design: config.Baseline}},
 			runSpec{wl, Options{Design: config.BPIM}})
 	}
-	if err := prefetch(specs); err != nil {
+	if err := prefetch(ctx, specs); err != nil {
 		return nil, err
 	}
 	var rsp, fsp []float64
 	for _, wl := range wls {
-		base, err := RunCached(wl, Options{Design: config.Baseline})
+		base, err := RunCachedContext(ctx, wl, Options{Design: config.Baseline})
 		if err != nil {
 			return nil, err
 		}
-		bpim, err := RunCached(wl, Options{Design: config.BPIM})
+		bpim, err := RunCachedContext(ctx, wl, Options{Design: config.BPIM})
 		if err != nil {
 			return nil, err
 		}
@@ -259,21 +279,21 @@ func Fig7TexelFetches() *Experiment {
 // results indexed [workload][design]. The cells execute in parallel on the
 // sweep farm; the aggregation below stays in workload order, so output is
 // byte-identical to a serial sweep.
-func designSweep(wls []workload.Workload) (map[string]map[config.Design]*Result, error) {
+func designSweep(ctx context.Context, wls []workload.Workload) (map[string]map[config.Design]*Result, error) {
 	var specs []runSpec
 	for _, wl := range wls {
 		for _, d := range config.AllDesigns() {
 			specs = append(specs, runSpec{wl, Options{Design: d}})
 		}
 	}
-	if err := prefetch(specs); err != nil {
+	if err := prefetch(ctx, specs); err != nil {
 		return nil, err
 	}
 	out := make(map[string]map[config.Design]*Result, len(wls))
 	for _, wl := range wls {
 		row := make(map[config.Design]*Result, 4)
 		for _, d := range config.AllDesigns() {
-			res, err := RunCached(wl, Options{Design: d})
+			res, err := RunCachedContext(ctx, wl, Options{Design: d})
 			if err != nil {
 				return nil, err
 			}
@@ -286,8 +306,8 @@ func designSweep(wls []workload.Workload) (map[string]map[config.Design]*Result,
 
 // Fig10TextureSpeedup reproduces Fig. 10: normalized texture-filtering
 // speedup of the four designs (plus A-TFIM at 0.05pi for reference).
-func Fig10TextureSpeedup(wls []workload.Workload) (*Experiment, error) {
-	sweep, err := designSweep(wls)
+func Fig10TextureSpeedup(ctx context.Context, wls []workload.Workload) (*Experiment, error) {
+	sweep, err := designSweep(ctx, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -319,8 +339,8 @@ func Fig10TextureSpeedup(wls []workload.Workload) (*Experiment, error) {
 
 // Fig11RenderSpeedup reproduces Fig. 11: normalized 3D-rendering speedup
 // of the four designs.
-func Fig11RenderSpeedup(wls []workload.Workload) (*Experiment, error) {
-	sweep, err := designSweep(wls)
+func Fig11RenderSpeedup(ctx context.Context, wls []workload.Workload) (*Experiment, error) {
+	sweep, err := designSweep(ctx, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -352,8 +372,8 @@ func Fig11RenderSpeedup(wls []workload.Workload) (*Experiment, error) {
 
 // Fig12MemoryTraffic reproduces Fig. 12: texture memory traffic normalized
 // to the baseline, including both A-TFIM thresholds the paper plots.
-func Fig12MemoryTraffic(wls []workload.Workload) (*Experiment, error) {
-	sweep, err := designSweep(wls)
+func Fig12MemoryTraffic(ctx context.Context, wls []workload.Workload) (*Experiment, error) {
+	sweep, err := designSweep(ctx, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -363,14 +383,14 @@ func Fig12MemoryTraffic(wls []workload.Workload) (*Experiment, error) {
 	for _, wl := range wls {
 		specs = append(specs, runSpec{wl, Options{Design: config.ATFIM, AngleThreshold: config.Angle005Pi}})
 	}
-	if err := prefetch(specs); err != nil {
+	if err := prefetch(ctx, specs); err != nil {
 		return nil, err
 	}
 	agg := map[string][]float64{}
 	for _, wl := range wls {
 		row := sweep[wl.Name()]
 		base := float64(row[config.Baseline].TextureTraffic())
-		a5, err := RunCached(wl, Options{Design: config.ATFIM, AngleThreshold: config.Angle005Pi})
+		a5, err := RunCachedContext(ctx, wl, Options{Design: config.ATFIM, AngleThreshold: config.Angle005Pi})
 		if err != nil {
 			return nil, err
 		}
@@ -400,8 +420,8 @@ func Fig12MemoryTraffic(wls []workload.Workload) (*Experiment, error) {
 
 // Fig13Energy reproduces Fig. 13: whole-GPU energy normalized to the
 // baseline.
-func Fig13Energy(wls []workload.Workload) (*Experiment, error) {
-	sweep, err := designSweep(wls)
+func Fig13Energy(ctx context.Context, wls []workload.Workload) (*Experiment, error) {
+	sweep, err := designSweep(ctx, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -433,7 +453,7 @@ func Fig13Energy(wls []workload.Workload) (*Experiment, error) {
 // thresholdSweep runs A-TFIM at each camera-angle threshold, in parallel
 // on the sweep farm. The Baseline cell per workload is prefetched too:
 // Figs 14 and 15 normalize against it right after this sweep.
-func thresholdSweep(wls []workload.Workload) (map[string]map[string]*Result, error) {
+func thresholdSweep(ctx context.Context, wls []workload.Workload) (map[string]map[string]*Result, error) {
 	var specs []runSpec
 	for _, wl := range wls {
 		specs = append(specs, runSpec{wl, Options{Design: config.Baseline}})
@@ -441,14 +461,14 @@ func thresholdSweep(wls []workload.Workload) (map[string]map[string]*Result, err
 			specs = append(specs, runSpec{wl, Options{Design: config.ATFIM, AngleThreshold: th.Value}})
 		}
 	}
-	if err := prefetch(specs); err != nil {
+	if err := prefetch(ctx, specs); err != nil {
 		return nil, err
 	}
 	out := map[string]map[string]*Result{}
 	for _, wl := range wls {
 		row := map[string]*Result{}
 		for _, th := range config.AngleThresholds() {
-			res, err := RunCached(wl, Options{Design: config.ATFIM, AngleThreshold: th.Value})
+			res, err := RunCachedContext(ctx, wl, Options{Design: config.ATFIM, AngleThreshold: th.Value})
 			if err != nil {
 				return nil, err
 			}
@@ -461,8 +481,8 @@ func thresholdSweep(wls []workload.Workload) (map[string]map[string]*Result, err
 
 // Fig14ThresholdSpeedup reproduces Fig. 14: A-TFIM rendering speedup under
 // different camera-angle thresholds.
-func Fig14ThresholdSpeedup(wls []workload.Workload) (*Experiment, error) {
-	sweep, err := thresholdSweep(wls)
+func Fig14ThresholdSpeedup(ctx context.Context, wls []workload.Workload) (*Experiment, error) {
+	sweep, err := thresholdSweep(ctx, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -474,7 +494,7 @@ func Fig14ThresholdSpeedup(wls []workload.Workload) (*Experiment, error) {
 	tab := stats.NewTable("Fig 14: A-TFIM rendering speedup vs camera-angle threshold", cols...)
 	agg := map[string][]float64{}
 	for _, wl := range wls {
-		base, err := RunCached(wl, Options{Design: config.Baseline})
+		base, err := RunCachedContext(ctx, wl, Options{Design: config.Baseline})
 		if err != nil {
 			return nil, err
 		}
@@ -495,8 +515,8 @@ func Fig14ThresholdSpeedup(wls []workload.Workload) (*Experiment, error) {
 
 // Fig15ThresholdQuality reproduces Fig. 15: PSNR of A-TFIM frames against
 // the baseline render under different camera-angle thresholds.
-func Fig15ThresholdQuality(wls []workload.Workload) (*Experiment, error) {
-	sweep, err := thresholdSweep(wls)
+func Fig15ThresholdQuality(ctx context.Context, wls []workload.Workload) (*Experiment, error) {
+	sweep, err := thresholdSweep(ctx, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -508,7 +528,7 @@ func Fig15ThresholdQuality(wls []workload.Workload) (*Experiment, error) {
 	tab := stats.NewTable("Fig 15: A-TFIM image quality (PSNR) vs camera-angle threshold", cols...)
 	agg := map[string][]float64{}
 	for _, wl := range wls {
-		base, err := RunCached(wl, Options{Design: config.Baseline})
+		base, err := RunCachedContext(ctx, wl, Options{Design: config.Baseline})
 		if err != nil {
 			return nil, err
 		}
@@ -532,12 +552,12 @@ func Fig15ThresholdQuality(wls []workload.Workload) (*Experiment, error) {
 
 // Fig16Tradeoff reproduces Fig. 16: the averaged performance-quality
 // tradeoff across thresholds.
-func Fig16Tradeoff(wls []workload.Workload) (*Experiment, error) {
-	f14, err := Fig14ThresholdSpeedup(wls)
+func Fig16Tradeoff(ctx context.Context, wls []workload.Workload) (*Experiment, error) {
+	f14, err := Fig14ThresholdSpeedup(ctx, wls)
 	if err != nil {
 		return nil, err
 	}
-	f15, err := Fig15ThresholdQuality(wls)
+	f15, err := Fig15ThresholdQuality(ctx, wls)
 	if err != nil {
 		return nil, err
 	}

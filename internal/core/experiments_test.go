@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func expSet() []workload.Workload {
 }
 
 func TestFig2Shares(t *testing.T) {
-	e, err := Fig2MemoryBreakdown(expSet())
+	e, err := Fig2MemoryBreakdown(context.Background(), expSet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestFig2Shares(t *testing.T) {
 }
 
 func TestFig4AnisoOffDirection(t *testing.T) {
-	e, err := Fig4AnisoOff(expSet())
+	e, err := Fig4AnisoOff(context.Background(), expSet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestFig4AnisoOffDirection(t *testing.T) {
 }
 
 func TestFig5BPIMWins(t *testing.T) {
-	e, err := Fig5BPIM(expSet())
+	e, err := Fig5BPIM(context.Background(), expSet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +65,11 @@ func TestFig7Counts(t *testing.T) {
 }
 
 func TestFig10And11Ordering(t *testing.T) {
-	f10, err := Fig10TextureSpeedup(expSet())
+	f10, err := Fig10TextureSpeedup(context.Background(), expSet())
 	if err != nil {
 		t.Fatal(err)
 	}
-	f11, err := Fig11RenderSpeedup(expSet())
+	f11, err := Fig11RenderSpeedup(context.Background(), expSet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFig10And11Ordering(t *testing.T) {
 }
 
 func TestFig12TrafficShape(t *testing.T) {
-	e, err := Fig12MemoryTraffic(expSet())
+	e, err := Fig12MemoryTraffic(context.Background(), expSet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFig12TrafficShape(t *testing.T) {
 }
 
 func TestFig13EnergyShape(t *testing.T) {
-	e, err := Fig13Energy(expSet())
+	e, err := Fig13Energy(context.Background(), expSet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +123,11 @@ func TestFig13EnergyShape(t *testing.T) {
 }
 
 func TestFig14And15Tradeoffs(t *testing.T) {
-	f14, err := Fig14ThresholdSpeedup(expSet())
+	f14, err := Fig14ThresholdSpeedup(context.Background(), expSet())
 	if err != nil {
 		t.Fatal(err)
 	}
-	f15, err := Fig15ThresholdQuality(expSet())
+	f15, err := Fig15ThresholdQuality(context.Background(), expSet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestFig14And15Tradeoffs(t *testing.T) {
 }
 
 func TestFig16Combines(t *testing.T) {
-	e, err := Fig16Tradeoff(expSet())
+	e, err := Fig16Tradeoff(context.Background(), expSet())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,7 +70,7 @@ func TestTraceChromeExport(t *testing.T) {
 		switch {
 		case name == "pipeline":
 			units["pipeline"] = true
-		case name == "frame" || name == "draws":
+		case name == "frame" || name == "groups":
 			units["frontend"] = true
 		case strings.HasPrefix(name, "cluster"):
 			units["shader-cluster"] = true

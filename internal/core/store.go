@@ -31,7 +31,10 @@ import (
 // into every store entry; bump it when cycle accounting, the energy model
 // or scene generation changes so stale persisted results are recomputed
 // instead of silently served.
-const SimVersion = "1"
+//
+// "2": hermetic tile-group fragment model (shard-count-independent fork/
+// join execution) replaced the single sequential frame machine.
+const SimVersion = "2"
 
 // StoredResultSchema identifies the store payload encoding produced by
 // this package.

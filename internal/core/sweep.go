@@ -77,20 +77,22 @@ type runSpec struct {
 // RunCached's. After prefetch returns nil, serial aggregation loops hit
 // the cache; if an entry was evicted meanwhile, RunCached simply
 // recomputes it, so correctness never depends on cache residency.
-func prefetch(specs []runSpec) error {
+func prefetch(ctx context.Context, specs []runSpec) error {
 	if len(specs) < 2 {
 		return nil
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	f := SweepFarm()
-	ctx := context.Background()
 	jobs := make([]*farm.Job, 0, len(specs))
 	for _, sp := range specs {
 		sp := sp
 		j, err := f.Submit(ctx, farm.Task{
 			Key:   cacheKey(sp.wl, sp.opts),
 			Label: fmt.Sprintf("%s/%s", sp.wl.Name(), sp.opts.Design),
-			Run: func(context.Context) (any, error) {
-				r, err := RunCached(sp.wl, sp.opts)
+			Run: func(runCtx context.Context) (any, error) {
+				r, err := RunCachedContext(runCtx, sp.wl, sp.opts)
 				if err != nil {
 					return nil, err
 				}

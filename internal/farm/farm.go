@@ -70,9 +70,10 @@ type Task struct {
 	// Meta is an opaque caller payload surfaced on the Job (pimfarm stores
 	// the parsed request here).
 	Meta any
-	// Run executes the work. The context is the farm's root context; it is
-	// canceled on forced shutdown. Run must be safe to call concurrently
-	// with other tasks' Run.
+	// Run executes the work. The context is the job's own, derived from
+	// the farm's root: it is canceled on forced shutdown and by
+	// Farm.Cancel. Run must be safe to call concurrently with other
+	// tasks' Run.
 	Run func(ctx context.Context) (any, error)
 }
 
@@ -237,6 +238,7 @@ func (f *Farm) Submit(ctx context.Context, t Task) (*Job, error) {
 		enqueued: now,
 		done:     make(chan struct{}),
 	}
+	j.ctx, j.cancel = context.WithCancel(f.root)
 	f.nextID++
 	f.jobsWG.Add(1)
 	f.register(j)
@@ -288,6 +290,33 @@ func (f *Farm) Do(ctx context.Context, t Task) (any, error) {
 		return nil, err
 	}
 	return j.Wait(ctx)
+}
+
+// Cancel requests cancellation of a job by id. A still-queued job
+// completes Canceled immediately (a worker that later dequeues it skips
+// it); a running job has its context canceled and completes Canceled when
+// its Run returns. Cancel reports whether the request took effect — false
+// for unknown ids and jobs already in a terminal state.
+func (f *Farm) Cancel(id string) bool {
+	f.mu.Lock()
+	j, ok := f.jobs[id]
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.canceled = true
+	queued := j.state == Queued
+	j.mu.Unlock()
+	j.cancel()
+	if queued {
+		f.finish(j, Canceled, nil, context.Canceled)
+	}
+	return true
 }
 
 // Job returns a submitted job by id.
@@ -455,6 +484,12 @@ func (f *Farm) execute(track string, j *Job) {
 	}
 
 	if err != nil {
+		// Only an explicit Farm.Cancel makes a run's failure a
+		// cancellation; a forced shutdown mid-run still records Failed.
+		if j.isCanceled() {
+			f.finish(j, Canceled, nil, err)
+			return
+		}
 		f.finish(j, Failed, nil, err)
 		return
 	}
@@ -469,15 +504,19 @@ func (f *Farm) execute(track string, j *Job) {
 }
 
 // runWithRetry executes the task, retrying transient failures with
-// exponential backoff while the farm is alive.
+// exponential backoff while both the farm and the job's own context are
+// alive — a canceled job is never retried.
 func (f *Farm) runWithRetry(j *Job) (any, error) {
 	backoff := f.cfg.Backoff
 	for attempt := 0; ; attempt++ {
 		j.mu.Lock()
 		j.attempts = attempt + 1
 		j.mu.Unlock()
-		v, err := j.run(f.root)
+		v, err := j.run(j.ctx)
 		if err == nil || attempt >= f.cfg.Retries {
+			return v, err
+		}
+		if j.ctx.Err() != nil {
 			return v, err
 		}
 		if f.cfg.Retryable != nil && !f.cfg.Retryable(err) {
@@ -486,8 +525,11 @@ func (f *Farm) runWithRetry(j *Job) (any, error) {
 		f.retries.Add(1)
 		select {
 		case <-time.After(backoff):
-		case <-f.root.Done():
-			return nil, fmt.Errorf("%w (after %d attempts: %v)", ErrShutdown, attempt+1, err)
+		case <-j.ctx.Done():
+			if f.root.Err() != nil {
+				return nil, fmt.Errorf("%w (after %d attempts: %v)", ErrShutdown, attempt+1, err)
+			}
+			return nil, fmt.Errorf("farm: job canceled (after %d attempts: %v)", attempt+1, err)
 		}
 		backoff *= 2
 	}
@@ -524,6 +566,9 @@ func (f *Farm) completeOne(j *Job, s State, v any, err error, now time.Time) {
 	j.finished = now
 	j.mu.Unlock()
 	close(j.done)
+	if j.cancel != nil {
+		j.cancel() // release the job context's resources
+	}
 
 	switch s {
 	case Done:

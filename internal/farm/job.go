@@ -18,7 +18,8 @@ const (
 	Done
 	// Failed: finished with an error after exhausting retries.
 	Failed
-	// Canceled: the farm shut down before the job could run.
+	// Canceled: the farm shut down before the job could run, or the job
+	// was canceled (Farm.Cancel) while queued or running.
 	Canceled
 )
 
@@ -51,6 +52,11 @@ type Job struct {
 	meta  any
 	run   func(ctx context.Context) (any, error)
 
+	// ctx is the job's execution context, derived from the farm's root at
+	// submission; cancel aborts this job alone (Farm.Cancel).
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu       sync.Mutex
 	state    State
 	value    any
@@ -59,6 +65,7 @@ type Job struct {
 	deduped  bool
 	cacheHit bool
 	tierHit  bool
+	canceled bool // Farm.Cancel was called before the job finished
 	enqueued time.Time
 	started  time.Time
 	finished time.Time
@@ -107,6 +114,13 @@ func (j *Job) Result() (any, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.value, j.err
+}
+
+// isCanceled reports whether Farm.Cancel targeted this job.
+func (j *Job) isCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
 }
 
 // View is a point-in-time, JSON-marshalable summary of a job (what

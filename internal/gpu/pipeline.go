@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -28,25 +29,32 @@ const (
 )
 
 // Pipeline renders scenes under one design configuration.
+//
+// The frame is a fork/join machine: geometry, triangle setup, and binning
+// run serially on the frame-level Backend/Path; the fragment stage is a
+// fixed list of 64x64-pixel tile groups, each simulated hermetically on a
+// worker's private backend/path/caches, merged back in fixed group order.
+// Shards picks the goroutine count; NewWorker supplies each worker's
+// private memory system. The rendered image and every counter are
+// byte-identical at any shard count.
 type Pipeline struct {
 	Cfg     config.Config
 	Backend mem.Backend
 	Path    TexturePath
 
+	// Shards is the number of worker goroutines draining the group list
+	// (<=1 means serial). It never changes simulated results.
+	Shards int
+	// NewWorker builds a private (backend, path, internal-byte counter)
+	// triple for one worker. The counter may be nil (no internal memory).
+	// When NewWorker is nil the groups run serially on Backend/Path.
+	NewWorker func() (mem.Backend, TexturePath, func() uint64)
+
 	fb      *Framebuffer
 	rast    *raster.Rasterizer
 	vs      *shader.Program
 	fs      *shader.Program
-	machine shader.Machine
-
-	zCache     *cache.Cache
-	colorCache *cache.Cache
-
-	// Per-cluster state.
-	cursor   []float64 // compute-cycle cursor per cluster
-	horizon  []int64   // completion horizon per cluster
-	inflight [][]int64 // ring of outstanding completions per cluster
-	inflHead []int
+	machine shader.Machine // vertex-stage machine (fragment machines live in workers)
 
 	traffic  mem.Traffic
 	activity Activity
@@ -55,19 +63,10 @@ type Pipeline struct {
 	tanHalfFovY float32
 	tanHalfFovX float32
 
-	// Current fragment context for the TEX callback.
-	curFrag    *raster.Fragment
-	curTex     int
-	curDone    int64
-	curNow     int64
-	curCluster int
-
 	scene *scene.Scene
 
-	// trace, when attached, records stage/tile/draw spans; clusterTrack
-	// caches the per-cluster track labels so the hot path does not format.
-	trace        *obs.Tracer
-	clusterTrack []string
+	// trace, when attached, records stage/group/cluster spans.
+	trace *obs.Tracer
 }
 
 // NewPipeline builds a pipeline for a WxH target. Backend and Path are
@@ -85,22 +84,6 @@ func NewPipeline(cfg config.Config, w, h int, backend mem.Backend, path TextureP
 		vs:      shader.NewVertexProgram(),
 	}
 	p.rast.Depth = p.fb.Depth
-	p.zCache = cache.New(cache.Config{
-		Name: "zcache", SizeBytes: cfg.GPU.ZCacheKB * 1024, Ways: 8,
-		LineBytes: mem.LineSize, WriteBack: true,
-	})
-	p.colorCache = cache.New(cache.Config{
-		Name: "colorcache", SizeBytes: cfg.GPU.ColorCacheKB * 1024, Ways: 8,
-		LineBytes: mem.LineSize, WriteBack: true,
-	})
-	n := cfg.GPU.Clusters
-	p.cursor = make([]float64, n)
-	p.horizon = make([]int64, n)
-	p.inflight = make([][]int64, n)
-	for i := range p.inflight {
-		p.inflight[i] = make([]int64, maxInflightPerCluster)
-	}
-	p.inflHead = make([]int, n)
 	return p
 }
 
@@ -112,18 +95,24 @@ func (p *Pipeline) Framebuffer() *Framebuffer { return p.fb }
 // simulated cycle counts are identical with and without it.
 func (p *Pipeline) SetTracer(t *obs.Tracer) {
 	p.trace = t
-	p.clusterTrack = make([]string, p.Cfg.GPU.Clusters)
-	for i := range p.clusterTrack {
-		p.clusterTrack[i] = fmt.Sprintf("cluster%02d", i)
-	}
 }
 
 // RenderFrame renders frame index `frame` of the scene and returns its
-// measurements. Texture addresses must already be assigned
-// (Scene.AssignTextureAddresses).
+// measurements. It is RenderFrameContext without cancellation.
 func (p *Pipeline) RenderFrame(s *scene.Scene, frame int) (*FrameResult, error) {
+	return p.RenderFrameContext(context.Background(), s, frame)
+}
+
+// RenderFrameContext renders frame index `frame` of the scene and returns
+// its measurements. Texture addresses must already be assigned
+// (Scene.AssignTextureAddresses). Cancellation is observed at tile-group
+// boundaries; a canceled frame returns ctx.Err() with no partial result.
+func (p *Pipeline) RenderFrameContext(ctx context.Context, s *scene.Scene, frame int) (*FrameResult, error) {
 	if frame < 0 || frame >= len(s.Cameras) {
 		return nil, fmt.Errorf("gpu: frame %d out of range (%d cameras)", frame, len(s.Cameras))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	p.scene = s
 	p.fb.Clear(texture.Color{R: 0.05, G: 0.05, B: 0.08, A: 1})
@@ -131,20 +120,9 @@ func (p *Pipeline) RenderFrame(s *scene.Scene, frame int) (*FrameResult, error) 
 	p.rast.ResetStats()
 	p.Backend.Reset()
 	p.Path.Reset()
-	p.zCache.Reset()
-	p.colorCache.Reset()
 	p.traffic = mem.Traffic{}
 	p.activity = Activity{}
-	for i := range p.cursor {
-		p.cursor[i] = 0
-		p.horizon[i] = 0
-		p.inflHead[i] = 0
-		for j := range p.inflight[i] {
-			p.inflight[i][j] = 0
-		}
-	}
 	p.machine = shader.Machine{}
-	p.machine.TexSample = p.texSample
 
 	cam := s.Cameras[frame]
 	aspect := float32(p.fb.W) / float32(p.fb.H)
@@ -159,39 +137,70 @@ func (p *Pipeline) RenderFrame(s *scene.Scene, frame int) (*FrameResult, error) 
 	ld := view.MulVec(vmath.Vec4{X: s.LightDir.X, Y: s.LightDir.Y, Z: s.LightDir.Z, W: 0})
 	p.fs = shader.NewFragmentProgram(shader.Vec{ld.X, ld.Y, ld.Z, 0}, s.Ambient)
 
-	// --- Geometry stage ---
+	// --- Geometry stage (serial, frame-level backend) ---
 	geomDone := p.runGeometry(s, view)
+	verts := p.transformVertices(s, view)
 
-	// --- Rasterization + fragment stage ---
-	fragStart := geomDone
-	p.runFragments(s, view, fragStart)
+	// --- Triangle setup + supertile binning (serial) ---
+	setupCycles, sts, groups := p.binTriangles(s, verts)
+	fragBase := geomDone + setupCycles
 
-	// --- End of frame: drain caches, resolve ---
-	endCompute := fragStart
-	for c := range p.cursor {
-		t := fragStart + int64(math.Ceil(p.cursor[c]))
-		if t > endCompute {
-			endCompute = t
-		}
-		if p.horizon[c] > endCompute {
-			endCompute = p.horizon[c]
-		}
+	// --- Fragment stage: hermetic tile groups, fork/join ---
+	results, err := p.runGroups(ctx, sts, groups)
+	if err != nil {
+		return nil, err
 	}
-	pathDone := p.Path.EndFrame(endCompute)
-	if pathDone > endCompute {
-		endCompute = pathDone
+
+	// --- Deterministic merge in fixed group order ---
+	tracing := p.trace.On()
+	frameCaches := map[string]cache.Stats{}
+	offset := fragBase
+	for gi := range results {
+		gr := &results[gi]
+		p.traffic.Add(&gr.traffic)
+		p.activity.FragmentCount += gr.activity.FragmentCount
+		p.activity.ShaderInstrs += gr.activity.ShaderInstrs
+		p.activity.ZAccesses += gr.activity.ZAccesses
+		p.activity.ColorAccesses += gr.activity.ColorAccesses
+		p.activity.InternalBytes += gr.activity.InternalBytes
+		p.activity.Path.Add(gr.activity.Path)
+		p.rast.AddStats(gr.raster)
+		for k, v := range gr.caches {
+			cur := frameCaches[k]
+			cur.Accesses += v.Accesses
+			cur.Hits += v.Hits
+			cur.Misses += v.Misses
+			cur.Evictions += v.Evictions
+			cur.Writebacks += v.Writebacks
+			cur.AngleRejects += v.AngleRejects
+			frameCaches[k] = cur
+		}
+		if tracing {
+			for _, e := range gr.events {
+				if e.ArgName != "" {
+					p.trace.SpanArg(e.Track, e.Name, e.Start+offset, e.End+offset, e.ArgName, e.Arg)
+				} else {
+					p.trace.Span(e.Track, e.Name, e.Start+offset, e.End+offset)
+				}
+			}
+			p.trace.SpanArg("groups", fmt.Sprintf("group %d", gi), offset, offset+gr.duration,
+				"fragments", int64(gr.activity.FragmentCount))
+		}
+		offset += gr.duration
 	}
-	flushDone := p.flushROPCaches(endCompute)
-	resolveDone := p.resolveFrame(flushDone)
+	endCompute := offset
+
+	// --- End of frame: resolve on the frame-level backend ---
+	resolveDone := p.resolveFrame(endCompute)
 	total := resolveDone
 	if b := p.Backend.BusyUntil(); b > total {
 		total = b
 	}
-	if p.trace.On() {
+	if tracing {
 		p.trace.Span("pipeline", "geometry", 0, geomDone)
-		p.trace.Span("pipeline", "fragment", fragStart, endCompute)
-		p.trace.Span("pipeline", "rop-flush", endCompute, flushDone)
-		p.trace.Span("pipeline", "resolve", flushDone, resolveDone)
+		p.trace.Span("pipeline", "setup", geomDone, fragBase)
+		p.trace.Span("pipeline", "fragment", fragBase, endCompute)
+		p.trace.Span("pipeline", "resolve", endCompute, resolveDone)
 		p.trace.SpanArg("frame", fmt.Sprintf("frame %d", frame), 0, total,
 			"fragments", int64(p.activity.FragmentCount))
 	}
@@ -201,16 +210,11 @@ func (p *Pipeline) RenderFrame(s *scene.Scene, frame int) (*FrameResult, error) 
 		Height:         p.fb.H,
 		Cycles:         total,
 		GeometryCycles: geomDone,
-		FragmentCycles: endCompute - fragStart,
+		FragmentCycles: endCompute - geomDone,
 		Traffic:        p.traffic,
 		Raster:         p.rast.Stats(),
-		Caches:         map[string]cache.Stats{"zcache": p.zCache.Stats(), "colorcache": p.colorCache.Stats()},
+		Caches:         frameCaches,
 	}
-	for k, v := range p.Path.CacheStats() {
-		res.Caches[k] = v
-	}
-	p.activity.Path = p.Path.Activity()
-	p.activity.ShaderInstrs = p.machine.InstrCount
 	p.activity.Cycles = total
 	res.Activity = p.activity
 	res.Image = make([]uint32, len(p.fb.Color))
@@ -281,127 +285,10 @@ func (p *Pipeline) transformVertices(s *scene.Scene, view vmath.Mat4) []raster.V
 			Normal: vmath.Vec3{X: en.X, Y: en.Y, Z: en.Z},
 		}
 	}
+	// Fold the vertex-stage instruction count in now; fragment-stage
+	// instructions are merged from the group results.
+	p.activity.ShaderInstrs += p.machine.InstrCount
 	return out
-}
-
-// runFragments rasterizes every triangle tile by tile and shades the
-// fragments on the clusters. fragStart is the cycle when the stage begins.
-func (p *Pipeline) runFragments(s *scene.Scene, view vmath.Mat4, fragStart int64) {
-	verts := p.transformVertices(s, view)
-
-	// Triangle setup cost, spread over clusters.
-	setup := float64(len(s.Mesh.Triangles)*triSetupCycles) / float64(p.Cfg.GPU.Clusters)
-	for c := range p.cursor {
-		p.cursor[c] = setup / float64(len(p.cursor))
-	}
-
-	// Draw-call spans group consecutive same-texture triangles; tile spans
-	// cover one cluster's work on one tile batch. Both are derived from the
-	// per-cluster compute cursors the timing model advances anyway.
-	tracing := p.trace.On()
-	maxCursor := func() int64 {
-		m := 0.0
-		for _, c := range p.cursor {
-			if c > m {
-				m = c
-			}
-		}
-		return fragStart + int64(m)
-	}
-	drawTex := -1
-	var drawStart int64
-	var drawTris int64
-	endDraw := func() {
-		if drawTex >= 0 && drawTris > 0 {
-			p.trace.SpanArg("draws", fmt.Sprintf("draw tex%d", drawTex),
-				drawStart, maxCursor(), "triangles", drawTris)
-		}
-	}
-
-	nextCluster := 0
-	for _, tri := range s.Mesh.Triangles {
-		if tracing && tri.TexID != drawTex {
-			endDraw()
-			drawTex = tri.TexID
-			drawStart = maxCursor()
-			drawTris = 0
-		}
-		drawTris++
-		tv := [3]raster.Vertex{verts[tri.V[0]], verts[tri.V[1]], verts[tri.V[2]]}
-		for _, st := range p.rast.Setup(tv, tri.TexID) {
-			stCopy := st
-			for _, tile := range stCopy.Tiles() {
-				cluster := nextCluster
-				nextCluster = (nextCluster + 1) % p.Cfg.GPU.Clusters
-				tileStart := fragStart + int64(p.cursor[cluster])
-				p.rast.ScanTile(&stCopy, tile, func(f *raster.Fragment) {
-					p.shadeFragment(f, cluster, fragStart)
-				})
-				if tracing {
-					if tileEnd := fragStart + int64(p.cursor[cluster]); tileEnd > tileStart {
-						p.trace.Span(p.clusterTrack[cluster], "tile", tileStart, tileEnd)
-					}
-				}
-			}
-		}
-	}
-	if tracing {
-		endDraw()
-	}
-}
-
-// shadeFragment runs the fragment program (issuing the texture request) and
-// the ROP for one fragment on the given cluster.
-func (p *Pipeline) shadeFragment(f *raster.Fragment, cluster int, fragStart int64) {
-	p.activity.FragmentCount++
-	cfg := &p.Cfg.GPU
-
-	// Per-fragment shader issue cost: the cluster's shaders process
-	// ShadersPerCluster fragments in parallel.
-	fsCost := float64(p.fs.CycleCost()) / float64(cfg.ShadersPerCluster)
-	p.cursor[cluster] += fsCost
-	now := fragStart + int64(p.cursor[cluster])
-
-	// Bounded in-flight window: if full, the cluster stalls until the
-	// oldest outstanding request completes.
-	ring := p.inflight[cluster]
-	head := p.inflHead[cluster]
-	if oldest := ring[head]; oldest > now {
-		stall := oldest - now
-		p.cursor[cluster] += float64(stall)
-		now = oldest
-	}
-
-	// Per-pixel camera angle: the angle between the view ray through this
-	// pixel and the surface normal (the quantity A-TFIM tags texels with;
-	// Section V-C). It varies across a flat surface because the ray
-	// direction varies across the screen.
-	f.ViewAngle = p.viewAngle(f)
-
-	// Fragment shading (TEX routed through texSample).
-	p.curFrag = f
-	p.curTex = f.TexID
-	p.curNow = now
-	p.curCluster = cluster
-	p.curDone = now
-	p.machine.SetInput(0, shader.Vec{f.UV.X, f.UV.Y, 0, 0})
-	p.machine.SetInput(1, shader.Vec{f.Color.X, f.Color.Y, f.Color.Z, f.Color.W})
-	n := f.Normal.Normalize()
-	p.machine.SetInput(2, shader.Vec{n.X, n.Y, n.Z, 0})
-	if err := p.machine.Run(p.fs); err != nil {
-		panic(err)
-	}
-	out := p.machine.Output(0)
-
-	done := p.curDone
-	ring[head] = done
-	p.inflHead[cluster] = (head + 1) % len(ring)
-	if done > p.horizon[cluster] {
-		p.horizon[cluster] = done
-	}
-
-	// ROP: Z test + color write, through the ROP caches.
-	p.ropFragment(f, out, now)
 }
 
 // viewAngle computes the angle (radians) between the eye-space view ray
@@ -428,95 +315,11 @@ func samplerUVScale(sampler uint8) float32 {
 	}
 }
 
-// texSample is the TEX instruction hook: it builds the texture request for
-// the current fragment and forwards it to the design's texture path.
-// Sampler 0 binds the draw call's texture; samplers 1 and 2 bind the
-// detail and light-map layers (neighboring textures in the scene's
-// inventory, with gradients scaled by the layer's UV tiling).
-func (p *Pipeline) texSample(sampler uint8, coords shader.Vec) shader.Vec {
-	f := p.curFrag
-	texID := (p.curTex + int(sampler)) % len(p.scene.Textures)
-	tex := p.scene.Textures[texID]
-	scale := samplerUVScale(sampler)
-	grads := textureGradients(f)
-	grads.DUDX *= scale
-	grads.DVDX *= scale
-	grads.DUDY *= scale
-	grads.DVDY *= scale
-	foot := computeFootprint(tex, grads, p.effectiveMaxAniso())
-	foot.Angle = f.ViewAngle
-	req := TexRequest{
-		Tex:     tex,
-		U:       coords[0],
-		V:       coords[1],
-		Foot:    foot,
-		Cluster: p.curCluster,
-	}
-	res := p.Path.Sample(p.curNow, &req)
-	if res.Done > p.curDone {
-		p.curDone = res.Done
-	}
-	return shader.Vec{res.Color.R, res.Color.G, res.Color.B, res.Color.A}
-}
-
 func (p *Pipeline) effectiveMaxAniso() int {
 	if !p.Cfg.AnisoEnabled {
 		return 1
 	}
 	return p.Cfg.GPU.MaxAniso
-}
-
-// ropFragment performs the late Z test and color write with cache-modelled
-// memory traffic.
-func (p *Pipeline) ropFragment(f *raster.Fragment, colorOut shader.Vec, now int64) {
-	idx := f.Y*p.fb.W + f.X
-	p.activity.ZAccesses++
-
-	// Z read (the early-Z already compared; the ROP re-checks and writes).
-	zAddr := p.fb.DepthAddr(f.X, f.Y)
-	if r := p.zCache.Access(zAddr, false); !r.Hit {
-		done := p.Backend.Access(now, mem.Request{Addr: mem.LineAddr(zAddr), Size: mem.LineSize, Class: mem.ClassZ, Kind: mem.Read})
-		p.traffic.Record(mem.ClassZ, mem.Read, mem.LineSize+mem.RequestOverheadBytes)
-		p.noteBackendDone(done)
-	} else if r.Writeback {
-		p.writeback(r.VictimAddr, mem.ClassZ, now)
-	}
-	if f.Depth >= p.fb.Depth[idx] {
-		return // occluded
-	}
-	// Z write.
-	if r := p.zCache.Access(zAddr, true); r.Writeback {
-		p.writeback(r.VictimAddr, mem.ClassZ, now)
-	}
-	p.fb.Depth[idx] = f.Depth
-	p.rast.UpdateHiZ(raster.Tile{X0: f.X &^ (raster.TileSize - 1), Y0: f.Y &^ (raster.TileSize - 1)}, tileMaxDepth(p.fb, f.X, f.Y))
-
-	// Color write.
-	p.activity.ColorAccesses++
-	cAddr := p.fb.ColorAddr(f.X, f.Y)
-	if r := p.colorCache.Access(cAddr, true); !r.Hit {
-		// Allocate-on-write fill read.
-		done := p.Backend.Access(now, mem.Request{Addr: mem.LineAddr(cAddr), Size: mem.LineSize, Class: mem.ClassColor, Kind: mem.Read})
-		p.traffic.Record(mem.ClassColor, mem.Read, mem.LineSize+mem.RequestOverheadBytes)
-		p.noteBackendDone(done)
-		if r.Writeback {
-			p.writeback(r.VictimAddr, mem.ClassColor, now)
-		}
-	} else if r.Writeback {
-		p.writeback(r.VictimAddr, mem.ClassColor, now)
-	}
-	p.fb.Color[idx] = packShaderColor(colorOut)
-}
-
-func (p *Pipeline) writeback(addr uint64, class mem.Class, now int64) {
-	done := p.Backend.Access(now, mem.Request{Addr: addr, Size: mem.LineSize, Class: class, Kind: mem.Write})
-	p.traffic.Record(class, mem.Write, mem.LineSize+mem.RequestOverheadBytes)
-	p.noteBackendDone(done)
-}
-
-func (p *Pipeline) noteBackendDone(int64) {
-	// Backend completion feeds the frame total via Backend.BusyUntil();
-	// per-access results are not individually tracked for ROP traffic.
 }
 
 // tileMaxDepth scans the fragment's tile for its maximum depth (HiZ bound).
@@ -540,26 +343,6 @@ func tileMaxDepth(fb *Framebuffer, x, y int) float32 {
 		}
 	}
 	return maxD
-}
-
-// flushROPCaches drains dirty Z/color lines at frame end.
-func (p *Pipeline) flushROPCaches(now int64) int64 {
-	end := now
-	for _, addr := range p.zCache.FlushDirty() {
-		done := p.Backend.Access(now, mem.Request{Addr: addr, Size: mem.LineSize, Class: mem.ClassZ, Kind: mem.Write})
-		p.traffic.Record(mem.ClassZ, mem.Write, mem.LineSize+mem.RequestOverheadBytes)
-		if done > end {
-			end = done
-		}
-	}
-	for _, addr := range p.colorCache.FlushDirty() {
-		done := p.Backend.Access(now, mem.Request{Addr: addr, Size: mem.LineSize, Class: mem.ClassColor, Kind: mem.Write})
-		p.traffic.Record(mem.ClassColor, mem.Write, mem.LineSize+mem.RequestOverheadBytes)
-		if done > end {
-			end = done
-		}
-	}
-	return end
 }
 
 // resolveFrame models the present/scan-out pass: the full color buffer is

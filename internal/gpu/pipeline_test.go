@@ -46,7 +46,7 @@ func newTestPipeline() (*Pipeline, *nullPath) {
 }
 
 func TestRenderFrameProducesImage(t *testing.T) {
-	p, path := newTestPipeline()
+	p, _ := newTestPipeline()
 	sc := testScene()
 	res, err := p.RenderFrame(sc, 0)
 	if err != nil {
@@ -61,10 +61,11 @@ func TestRenderFrameProducesImage(t *testing.T) {
 	if res.Activity.FragmentCount == 0 {
 		t.Fatal("no fragments shaded")
 	}
-	// Three texture layers per fragment.
-	if path.act.TexRequests != 3*res.Activity.FragmentCount {
+	// Three texture layers per fragment (merged across tile groups; the
+	// path's own counter is reset around each hermetic group).
+	if res.Activity.Path.TexRequests != 3*res.Activity.FragmentCount {
 		t.Errorf("tex requests %d, want 3 per fragment (%d)",
-			path.act.TexRequests, 3*res.Activity.FragmentCount)
+			res.Activity.Path.TexRequests, 3*res.Activity.FragmentCount)
 	}
 	nonBG := 0
 	for _, px := range res.Image {

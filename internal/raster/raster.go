@@ -67,6 +67,18 @@ type Stats struct {
 	HiZRejectedTiles uint64
 }
 
+// Add merges o into s (used to reduce per-shard counters).
+func (s *Stats) Add(o Stats) {
+	s.Triangles += o.Triangles
+	s.Clipped += o.Clipped
+	s.Culled += o.Culled
+	s.TilesTouched += o.TilesTouched
+	s.FragmentsIn += o.FragmentsIn
+	s.FragmentsEarlyZ += o.FragmentsEarlyZ
+	s.FragmentsEmitted += o.FragmentsEmitted
+	s.HiZRejectedTiles += o.HiZRejectedTiles
+}
+
 // Rasterizer scans triangles into fragments over a WxH render target.
 type Rasterizer struct {
 	W, H int
@@ -99,6 +111,19 @@ func (r *Rasterizer) Stats() Stats { return r.stats }
 
 // ResetStats zeroes the counters.
 func (r *Rasterizer) ResetStats() { r.stats = Stats{} }
+
+// AddStats folds externally accumulated counters (a shard view's) into r.
+func (r *Rasterizer) AddStats(o Stats) { r.stats.Add(o) }
+
+// ShardView returns a rasterizer that shares r's depth and hierarchical-Z
+// storage but keeps private statistics. Concurrent views are safe as long
+// as each scans a disjoint set of tiles: ScanTile and UpdateHiZ only touch
+// the depth/HiZ entries of the tile being scanned.
+func (r *Rasterizer) ShardView() *Rasterizer {
+	v := *r
+	v.stats = Stats{}
+	return &v
+}
 
 // ResetHiZ clears the hierarchical-Z buffer to the far plane.
 func (r *Rasterizer) ResetHiZ() {

@@ -7,14 +7,15 @@
 // cycle-accounted rasterization GPU model, plus the complete evaluation
 // harness that regenerates every figure and table of the paper.
 //
-// Quick start:
+// Quick start (v2 API — context-aware, functional options):
 //
 //	wl, _ := repro.Workload("doom3", 640, 480)
-//	res, _ := repro.Simulate(wl, repro.Options{Design: repro.ATFIM})
+//	res, _ := repro.SimulateContext(ctx, wl, repro.WithDesign(repro.ATFIM))
 //	fmt.Println(res.FPS(), res.TextureTraffic())
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -84,8 +85,72 @@ func Workload(game string, w, h int) (WorkloadSpec, error) {
 // TableII returns the paper's full benchmark catalog.
 func TableII() []WorkloadSpec { return workload.TableII() }
 
+// Option configures a simulation (the v2 functional-option surface).
+// Options compose left to right over the zero configuration (Baseline
+// design, default thresholds, one frame, default shard count).
+type Option func(*Options)
+
+// WithDesign selects the architecture to simulate.
+func WithDesign(d Design) Option { return func(o *Options) { o.Design = d } }
+
+// WithShards shards the frame's tile-group scan across n worker
+// goroutines (0 = process default, 1 = serial). Results are byte-identical
+// at any shard count; this is purely a host-speed knob.
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithAngleThreshold overrides the A-TFIM camera-angle threshold.
+func WithAngleThreshold(t float32) Option { return func(o *Options) { o.AngleThreshold = t } }
+
+// WithTracer attaches a cycle-timeline tracer to every instrumented unit.
+func WithTracer(tr *Tracer) Option { return func(o *Options) { o.Trace = tr } }
+
+// WithFrames renders n consecutive frames (default 1).
+func WithFrames(n int) Option { return func(o *Options) { o.Frames = n } }
+
+// WithFrameIndex selects the starting camera frame (default mid-flythrough).
+func WithFrameIndex(i int) Option { return func(o *Options) { o.FrameIndex = i } }
+
+// WithAnisoDisabled turns anisotropic filtering off (the Fig. 4 study).
+func WithAnisoDisabled() Option { return func(o *Options) { o.DisableAniso = true } }
+
+// WithCompression enables fixed-rate texture block compression.
+func WithCompression() Option { return func(o *Options) { o.Compressed = true } }
+
+// WithHMCCubes attaches n HMC cubes (Section V-E's multi-HMC scenario).
+func WithHMCCubes(n int) Option { return func(o *Options) { o.HMCCubes = n } }
+
+// WithLinearLayout forces row-major texel addressing (ablation).
+func WithLinearLayout() Option { return func(o *Options) { o.LinearLayout = true } }
+
+// WithConsolidationDisabled turns off Child Texel Consolidation (ablation).
+func WithConsolidationDisabled() Option { return func(o *Options) { o.DisableConsolidation = true } }
+
+// WithMTUs overrides the S-TFIM MTU count (ablation).
+func WithMTUs(n int) Option { return func(o *Options) { o.MTUs = n } }
+
+// NewOptions materializes a configuration from functional options.
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// SimulateContext renders the workload under the given options and
+// returns its performance, traffic, energy and image measurements.
+// Cancellation is observed between frames and at tile-group boundaries
+// inside each frame; a canceled run returns ctx.Err().
+func SimulateContext(ctx context.Context, wl WorkloadSpec, opts ...Option) (*Result, error) {
+	return core.RunContext(ctx, wl, NewOptions(opts...))
+}
+
 // Simulate renders the workload under the given design and returns its
 // performance, traffic, energy and image measurements.
+//
+// Deprecated: Simulate is the v1 entry point, kept as a thin wrapper. New
+// code should use SimulateContext with functional options, which adds
+// cancellation and does not require constructing an Options literal.
 func Simulate(wl WorkloadSpec, opts Options) (*Result, error) {
 	return core.Run(wl, opts)
 }
@@ -100,53 +165,148 @@ func WritePNG(w io.Writer, pix []uint32, width, height int) error {
 }
 
 // ExperimentFunc regenerates one of the paper's figures over a workload
-// set.
+// set (the v1 signature, kept for the Experiments map).
 type ExperimentFunc func(wls []WorkloadSpec) (*Experiment, error)
 
-// Experiments returns the full per-figure harness keyed by experiment name
-// ("fig2" ... "fig16"); table1/table2/fig7/overhead take no workloads and
-// are exposed by StaticExperiments.
-func Experiments() map[string]ExperimentFunc {
-	return map[string]ExperimentFunc{
-		"fig2":  core.Fig2MemoryBreakdown,
-		"fig4":  core.Fig4AnisoOff,
-		"fig5":  core.Fig5BPIM,
-		"fig10": core.Fig10TextureSpeedup,
-		"fig11": core.Fig11RenderSpeedup,
-		"fig12": core.Fig12MemoryTraffic,
-		"fig13": core.Fig13Energy,
-		"fig14": core.Fig14ThresholdSpeedup,
-		"fig15": core.Fig15ThresholdQuality,
-		"fig16": core.Fig16Tradeoff,
+// ExperimentDef is one registered experiment: a name plus a context-aware
+// runner. Static experiments (tables, analytic figures) need no workloads
+// or simulation sweep.
+type ExperimentDef struct {
+	// Name is the registry key ("fig12", "table1", ...).
+	Name string
+	// Static reports that the experiment runs without simulation and
+	// ignores the workload set.
+	Static bool
+
+	run func(ctx context.Context, wls []WorkloadSpec) (*Experiment, error)
+}
+
+// Run regenerates the experiment over the workload set (ignored when
+// Static). Cancellation propagates into every underlying simulation.
+func (d ExperimentDef) Run(ctx context.Context, wls []WorkloadSpec) (*Experiment, error) {
+	return d.run(ctx, wls)
+}
+
+// ExperimentRegistry is the typed v2 experiment catalog: every figure and
+// table of the paper in presentation order, addressable by name.
+type ExperimentRegistry struct {
+	defs   []ExperimentDef
+	byName map[string]ExperimentDef
+}
+
+func staticDef(name string, f func() *Experiment) ExperimentDef {
+	return ExperimentDef{Name: name, Static: true,
+		run: func(context.Context, []WorkloadSpec) (*Experiment, error) { return f(), nil }}
+}
+
+func sweepDef(name string, f func(context.Context, []workload.Workload) (*core.Experiment, error)) ExperimentDef {
+	return ExperimentDef{Name: name,
+		run: func(ctx context.Context, wls []WorkloadSpec) (*Experiment, error) { return f(ctx, wls) }}
+}
+
+var registry = newRegistry()
+
+func newRegistry() *ExperimentRegistry {
+	defs := []ExperimentDef{
+		staticDef("table1", core.Table1Config),
+		staticDef("table2", core.Table2Workloads),
+		sweepDef("fig2", core.Fig2MemoryBreakdown),
+		sweepDef("fig4", core.Fig4AnisoOff),
+		sweepDef("fig5", core.Fig5BPIM),
+		staticDef("fig7", core.Fig7TexelFetches),
+		sweepDef("fig10", core.Fig10TextureSpeedup),
+		sweepDef("fig11", core.Fig11RenderSpeedup),
+		sweepDef("fig12", core.Fig12MemoryTraffic),
+		sweepDef("fig13", core.Fig13Energy),
+		sweepDef("fig14", core.Fig14ThresholdSpeedup),
+		sweepDef("fig15", core.Fig15ThresholdQuality),
+		sweepDef("fig16", core.Fig16Tradeoff),
+		staticDef("overhead", core.OverheadAnalysis),
 	}
+	byName := make(map[string]ExperimentDef, len(defs))
+	for _, d := range defs {
+		byName[d.Name] = d
+	}
+	return &ExperimentRegistry{defs: defs, byName: byName}
+}
+
+// Registry returns the experiment catalog.
+func Registry() *ExperimentRegistry { return registry }
+
+// Names lists every experiment in presentation order.
+func (r *ExperimentRegistry) Names() []string {
+	names := make([]string, len(r.defs))
+	for i, d := range r.defs {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Get looks an experiment up by name.
+func (r *ExperimentRegistry) Get(name string) (ExperimentDef, bool) {
+	d, ok := r.byName[name]
+	return d, ok
+}
+
+// Run regenerates one experiment by name over the given workload set
+// (ignored by the static experiments).
+func (r *ExperimentRegistry) Run(ctx context.Context, name string, wls []WorkloadSpec) (*Experiment, error) {
+	d, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown experiment %q (have %v)", name, r.Names())
+	}
+	return d.Run(ctx, wls)
+}
+
+// Experiments returns the sweep-based harness keyed by experiment name
+// ("fig2" ... "fig16") with the v1 signature; table1/table2/fig7/overhead
+// take no workloads and are exposed by StaticExperiments.
+//
+// Deprecated: use Registry, whose entries are typed and context-aware.
+func Experiments() map[string]ExperimentFunc {
+	out := map[string]ExperimentFunc{}
+	for _, d := range registry.defs {
+		if d.Static {
+			continue
+		}
+		d := d
+		out[d.Name] = func(wls []WorkloadSpec) (*Experiment, error) {
+			return d.Run(context.Background(), wls)
+		}
+	}
+	return out
 }
 
 // StaticExperiments returns the experiments that need no simulation sweep.
+//
+// Deprecated: use Registry; static entries carry Static == true.
 func StaticExperiments() map[string]func() *Experiment {
-	return map[string]func() *Experiment{
-		"table1":   core.Table1Config,
-		"table2":   core.Table2Workloads,
-		"fig7":     core.Fig7TexelFetches,
-		"overhead": core.OverheadAnalysis,
+	out := map[string]func() *Experiment{}
+	for _, d := range registry.defs {
+		if !d.Static {
+			continue
+		}
+		d := d
+		out[d.Name] = func() *Experiment {
+			exp, err := d.Run(context.Background(), nil)
+			if err != nil {
+				panic(err) // static experiments cannot fail
+			}
+			return exp
+		}
 	}
+	return out
 }
 
 // ExperimentNames lists every experiment in presentation order.
-func ExperimentNames() []string {
-	return []string{"table1", "table2", "fig2", "fig4", "fig5", "fig7",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "overhead"}
-}
+func ExperimentNames() []string { return registry.Names() }
 
 // RunExperiment regenerates one experiment by name over the given
 // workload set (ignored by the static experiments).
+//
+// Deprecated: use Registry().Run, which accepts a context.
 func RunExperiment(name string, wls []WorkloadSpec) (*Experiment, error) {
-	if f, ok := StaticExperiments()[name]; ok {
-		return f(), nil
-	}
-	if f, ok := Experiments()[name]; ok {
-		return f(wls)
-	}
-	return nil, fmt.Errorf("repro: unknown experiment %q (have %v)", name, ExperimentNames())
+	return registry.Run(context.Background(), name, wls)
 }
 
 // QuickSet returns the default evaluation workload set (five games at

@@ -1,0 +1,107 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestFunctionalOptions pins the v2 option surface onto the Options struct
+// it configures.
+func TestFunctionalOptions(t *testing.T) {
+	tr := repro.NewTracer(16)
+	o := repro.NewOptions(
+		repro.WithDesign(repro.ATFIM),
+		repro.WithShards(4),
+		repro.WithAngleThreshold(repro.Angle005Pi),
+		repro.WithTracer(tr),
+		repro.WithFrames(2),
+		repro.WithFrameIndex(7),
+		repro.WithAnisoDisabled(),
+		repro.WithCompression(),
+		repro.WithHMCCubes(2),
+		repro.WithLinearLayout(),
+		repro.WithConsolidationDisabled(),
+		repro.WithMTUs(8),
+	)
+	if o.Design != repro.ATFIM || o.Shards != 4 || o.AngleThreshold != repro.Angle005Pi {
+		t.Fatalf("core options not applied: %+v", o)
+	}
+	if o.Trace != tr || o.Frames != 2 || o.FrameIndex != 7 {
+		t.Fatalf("trace/frame options not applied: %+v", o)
+	}
+	if !o.DisableAniso || !o.Compressed || o.HMCCubes != 2 ||
+		!o.LinearLayout || !o.DisableConsolidation || o.MTUs != 8 {
+		t.Fatalf("ablation options not applied: %+v", o)
+	}
+	if zero := repro.NewOptions(); zero != (repro.Options{}) {
+		t.Fatalf("NewOptions() = %+v, want zero Options", zero)
+	}
+}
+
+// TestSimulateContextCancel: a canceled context aborts the simulation and
+// surfaces context.Canceled.
+func TestSimulateContextCancel(t *testing.T) {
+	wl, err := repro.Workload("doom3", 320, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := repro.SimulateContext(ctx, wl, repro.WithDesign(repro.ATFIM)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SimulateContext err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRegistry pins the v2 experiment catalog: presentation order matches
+// the v1 ExperimentNames, lookup works, static entries are flagged, and
+// unknown names keep the v1 error text.
+func TestRegistry(t *testing.T) {
+	reg := repro.Registry()
+	names := reg.Names()
+	v1 := repro.ExperimentNames()
+	if len(names) != len(v1) {
+		t.Fatalf("registry has %d names, v1 has %d", len(names), len(v1))
+	}
+	for i := range names {
+		if names[i] != v1[i] {
+			t.Fatalf("names[%d] = %q, v1 order %q", i, names[i], v1[i])
+		}
+	}
+
+	d, ok := reg.Get("table1")
+	if !ok || !d.Static || d.Name != "table1" {
+		t.Fatalf("Get(table1) = %+v, %v", d, ok)
+	}
+	if d, ok := reg.Get("fig12"); !ok || d.Static {
+		t.Fatalf("Get(fig12) = %+v, %v (sweeps must not be static)", d, ok)
+	}
+	if _, ok := reg.Get("nope"); ok {
+		t.Fatal("Get(nope) succeeded")
+	}
+
+	if _, err := reg.Run(context.Background(), "nope", nil); err == nil ||
+		!strings.Contains(err.Error(), `unknown experiment "nope"`) {
+		t.Fatalf("unknown-name error = %v", err)
+	}
+
+	// Static entries run without workloads or simulation.
+	exp, err := reg.Run(context.Background(), "table1", nil)
+	if err != nil || exp == nil || exp.Table.NumRows() == 0 {
+		t.Fatalf("Run(table1) = %v, %v", exp, err)
+	}
+}
+
+// TestRegistryRunCanceled: cancellation propagates into a sweep experiment
+// before any simulation happens.
+func TestRegistryRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := repro.Registry().Run(ctx, "fig10", repro.MiniSet())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep err = %v, want context.Canceled", err)
+	}
+}

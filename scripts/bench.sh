@@ -1,19 +1,32 @@
 #!/usr/bin/env sh
-# Runs the farm sweep benchmarks (serial, parallel, cold-store, warm-store)
-# and writes BENCH_pr3.json: one record per benchmark with ns/op, so the
-# perf trajectory across PRs is machine-readable. The cold/warm pair prices
-# the durable store: cold = simulate + write-through, warm = serve every
-# cell from disk with no simulation.
+# Runs the perf-trajectory benchmarks and writes BENCH_pr4.json: one record
+# per benchmark with ns/op, so the perf trajectory across PRs is
+# machine-readable.
+#
+# Two families:
+#   - BenchmarkSimulateShards{1,2,8}: one uncached single-frame simulation
+#     per iteration with the tile-group scan sharded across N worker
+#     goroutines. Output is byte-identical at every shard count, so
+#     ns/op(1) / ns/op(N) is the intra-frame fork/join speedup. The ratio
+#     is bounded by the host's core count (a single-core runner measures
+#     ~1x regardless of N).
+#   - BenchmarkFarmSweep{Serial,Parallel,ColdStore,WarmStore}: the PR3
+#     sweep-level numbers (farm scheduling + durable store), kept for
+#     continuity.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
-out=${1:-BENCH_pr3.json}
+out=${1:-BENCH_pr4.json}
 cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench 'BenchmarkSimulateShards[128]$' \
+    -benchtime "${BENCHTIME:-1x}" -count "${COUNT:-1}" -timeout 30m \
+    . | tee /tmp/bench_pr4.txt
 
 go test -run '^$' -bench 'BenchmarkFarmSweep(Serial|Parallel|ColdStore|WarmStore)$' \
     -benchtime "${BENCHTIME:-1x}" -count "${COUNT:-1}" -timeout 30m \
-    ./internal/farm/ | tee /tmp/bench_pr3.txt
+    ./internal/farm/ | tee -a /tmp/bench_pr4.txt
 
 awk '
 /^Benchmark/ {
@@ -23,11 +36,11 @@ awk '
     sep = ",\n  "
 }
 END { if (sep == "") exit 1 }
-' /tmp/bench_pr3.txt >/tmp/bench_pr3_rows.txt
+' /tmp/bench_pr4.txt >/tmp/bench_pr4_rows.txt
 
 {
     printf '{\n  "schema": "pim-render/bench/v1",\n  "benchmarks": [\n  '
-    cat /tmp/bench_pr3_rows.txt
+    cat /tmp/bench_pr4_rows.txt
     printf '\n  ]\n}\n'
 } >"$out"
 
