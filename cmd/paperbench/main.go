@@ -40,9 +40,14 @@ func main() {
 		writeBase = flag.String("write-baseline", "", "write each experiment's results as golden baselines into this directory")
 		checkDir  = flag.String("check", "", "compare results against golden baselines in this directory; exit non-zero on drift")
 		relTol    = flag.Float64("tolerance", store.DefaultRelTol, "relative tolerance for -check summary-metric comparison")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Printf("paperbench %s (%s)\n", obs.Version(), obs.GoVersion())
+		return
+	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}

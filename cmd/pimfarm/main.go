@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +30,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/obs"
+	"repro/internal/obs/slogx"
+	"repro/internal/obs/telem"
 	"repro/internal/store"
 )
 
@@ -43,18 +46,41 @@ func main() {
 		tracefile = flag.String("tracefile", "", "write farm job-lifecycle spans as Chrome trace JSON on shutdown")
 		storeDir  = flag.String("store", "", "durable result-store directory; completed jobs survive restarts")
 		shards    = flag.Int("shards", 0, "default frame tile-scan shards for jobs that do not set one (0 = GOMAXPROCS, 1 = serial)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Printf("pimfarm %s (%s)\n", obs.Version(), obs.GoVersion())
+		return
+	}
+	level, err := slogx.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	log := slogx.New(os.Stderr, slogx.Options{Level: level, Timestamps: true})
+	slog.SetDefault(log)
 	core.SetDefaultShards(*shards)
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}
 	defer func() {
 		if err := prof.Stop(); err != nil {
-			fmt.Fprintln(os.Stderr, "pimfarm:", err)
+			log.Error("profile stop", "err", err.Error())
 		}
 	}()
+
+	// build_info makes every scrape self-identifying: the value is constant
+	// 1 and the interesting bits ride in the labels.
+	telem.Default().Gauge("pimfarm_build_info",
+		"Build metadata; constant 1, with the version in labels.",
+		telem.Labels{
+			"version":    obs.Version(),
+			"go_version": obs.GoVersion(),
+			"revision":   obs.BuildRevision(),
+		}).Set(1)
 
 	var tracer *obs.Tracer
 	if *tracefile != "" {
@@ -71,8 +97,7 @@ func main() {
 		// jobs from disk before the task runs and writes each computed result
 		// through exactly once (attaching the store to core.RunCached as well
 		// would just duplicate every write).
-		fmt.Fprintf(os.Stderr, "pimfarm: store %s (%d entries, %d bytes)\n",
-			st.Dir(), st.Len(), st.Size())
+		log.Info("store open", "dir", st.Dir(), "entries", st.Len(), "bytes", st.Size())
 	}
 	f := farm.New(farm.Config{
 		Workers:    *workers,
@@ -83,11 +108,14 @@ func main() {
 		Tier:       core.StoreTier(st),
 	})
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(f, st)}
+	api := newServer(f, st)
+	api.log = log
+	api.pprofOn = *pprofOn
+	srv := &http.Server{Addr: *addr, Handler: api}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "pimfarm: listening on %s (%d workers, queue %d)\n",
-			*addr, f.Workers(), *queue)
+		log.Info("listening", "addr", *addr, "workers", f.Workers(), "queue", *queue,
+			"pprof", *pprofOn, "version", obs.Version())
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -95,7 +123,7 @@ func main() {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "pimfarm: %v, draining\n", sig)
+		log.Info("draining", "signal", sig.String())
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
@@ -105,18 +133,18 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "pimfarm: http shutdown:", err)
+		log.Error("http shutdown", "err", err.Error())
 	}
 	if err := f.Close(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "pimfarm: forced farm shutdown:", err)
+		log.Error("forced farm shutdown", "err", err.Error())
 	}
 	c := f.Counters()
-	fmt.Fprintf(os.Stderr, "pimfarm: drained (done=%d failed=%d canceled=%d deduped=%d cache_hits=%d tier_hits=%d)\n",
-		c.Done, c.Failed, c.Canceled, c.Deduped, c.CacheHits, c.TierHits)
+	log.Info("drained", "done", c.Done, "failed", c.Failed, "canceled", c.Canceled,
+		"deduped", c.Deduped, "cache_hits", c.CacheHits, "tier_hits", c.TierHits)
 	if st != nil {
 		sc := st.Counters()
-		fmt.Fprintf(os.Stderr, "pimfarm: store (hits=%d misses=%d corrupt=%d puts=%d entries=%d bytes=%d)\n",
-			sc.Hits, sc.Misses, sc.Corrupt, sc.Puts, sc.Entries, sc.Bytes)
+		log.Info("store closed", "hits", sc.Hits, "misses", sc.Misses, "corrupt", sc.Corrupt,
+			"puts", sc.Puts, "entries", sc.Entries, "bytes", sc.Bytes)
 	}
 
 	if *tracefile != "" {

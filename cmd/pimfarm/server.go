@@ -5,8 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -14,6 +18,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/obs"
+	"repro/internal/obs/slogx"
+	"repro/internal/obs/telem"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -70,35 +76,93 @@ type jobResponse struct {
 // server is the pimfarm HTTP API over one Farm and, optionally, the
 // durable result store backing it.
 type server struct {
-	farm  *farm.Farm
-	store *store.Store
-	mux   *http.ServeMux
+	farm    *farm.Farm
+	store   *store.Store
+	mux     *http.ServeMux
+	log     *slog.Logger
+	metrics *telem.Registry
+	pprofOn bool
+	reqSeq  atomic.Uint64
 }
 
 // newServer builds the API handler (httptest mounts it directly); st may be
-// nil when the farm runs without persistence.
+// nil when the farm runs without persistence. The logger defaults to
+// discard and the metrics registry to the process default; main overrides
+// them via the exported fields before serving.
 func newServer(f *farm.Farm, st *store.Store) *server {
-	s := &server{farm: f, store: st, mux: http.NewServeMux()}
+	s := &server{
+		farm:    f,
+		store:   st,
+		mux:     http.NewServeMux(),
+		log:     slogx.Discard(),
+		metrics: telem.Default(),
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", s.handlePprof)
 	// Method-less fallbacks: a known path with the wrong verb answers a JSON
 	// 405 with Allow, and anything else a JSON 404 — clients always get a
 	// machine-readable error body.
 	s.mux.HandleFunc("/v1/jobs", methodNotAllowed("GET, POST"))
 	s.mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET, DELETE"))
+	s.mux.HandleFunc("/v1/jobs/{id}/events", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/experiments", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/healthz", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/varz", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/metrics", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/", handleUnknown)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP stamps every request with an ID (also answered in
+// X-Request-ID), carries a request-scoped logger in the context, and logs
+// one structured line per request with the status and duration.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
+	log := s.log.With("req", reqID)
+	w.Header().Set("X-Request-ID", reqID)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	r = r.WithContext(slogx.WithLogger(r.Context(), log))
+	s.mux.ServeHTTP(sw, r)
+	log.Info("request", "method", r.Method, "path", r.URL.Path,
+		"status", sw.status, "dur", time.Since(start).Round(time.Microsecond).String())
+}
+
+// statusWriter records the response status for the request log. It
+// forwards Flush so streaming handlers (SSE) keep working through the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
@@ -129,13 +193,21 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
 	defer cancel()
 	job, err := s.farm.Submit(ctx, farm.Task{
-		Key:   core.CacheKey(wl, opts),
-		Label: fmt.Sprintf("%s@%dx%d/%s", req.Game, req.Width, req.Height, design),
-		Meta:  &req,
+		Key:    core.CacheKey(wl, opts),
+		Label:  fmt.Sprintf("%s@%dx%d/%s", req.Game, req.Width, req.Height, design),
+		Origin: w.Header().Get("X-Request-ID"),
+		Meta:   &req,
 		Run: func(runCtx context.Context) (any, error) {
 			// The job's own context: canceled by DELETE /v1/jobs/{id},
 			// by a waiting client disconnecting, or on forced shutdown.
-			res, err := core.RunCachedContext(runCtx, wl, opts)
+			// Simulation progress is published onto the job's event stream
+			// (GET /v1/jobs/{id}/events); Progress is runtime-only and does
+			// not affect cache keys or stored results.
+			ropts := opts
+			if j, ok := farm.JobFromContext(runCtx); ok {
+				ropts.Progress = func(p core.Progress) { j.Publish("progress", p) }
+			}
+			res, err := core.RunCachedContext(runCtx, wl, ropts)
 			if err != nil {
 				return nil, err
 			}
@@ -232,14 +304,155 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
-	if s.store == nil {
-		writeJSON(w, http.StatusOK, s.farm.Counters())
+	resp := struct {
+		farm.Counters
+		Store    *store.Counters      `json:"store,omitempty"`
+		RunCache map[string]uint64    `json:"run_cache"`
+		BW       map[string][]float64 `json:"bw_utilization,omitempty"`
+	}{
+		Counters: s.farm.Counters(),
+		RunCache: core.RunCacheCounters(),
+		BW:       s.latestBWHistograms(),
+	}
+	if s.store != nil {
+		c := s.store.Counters()
+		resp.Store = &c
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// latestBWHistograms returns the bandwidth-meter utilization histograms
+// (16 bins over the frame's busy span, per meter) from the most recently
+// finished successful job, or nil when no job has completed yet.
+func (s *server) latestBWHistograms() map[string][]float64 {
+	var (
+		newest   time.Time
+		snapshot *obs.Snapshot
+	)
+	for _, j := range s.farm.Jobs() {
+		v := j.View()
+		if v.State != farm.Done.String() || v.Finished == nil {
+			continue
+		}
+		if snapshot != nil && !v.Finished.After(newest) {
+			continue
+		}
+		if res, err := j.Result(); err == nil {
+			if r, ok := res.(*core.Result); ok {
+				newest, snapshot = *v.Finished, r.Metrics()
+			}
+		}
+	}
+	if snapshot == nil {
+		return nil
+	}
+	bw := make(map[string][]float64)
+	for name, bins := range snapshot.Histograms {
+		if meter, ok := strings.CutPrefix(name, "bw."); ok {
+			bw[meter] = bins
+		}
+	}
+	if len(bw) == 0 {
+		return nil
+	}
+	return bw
+}
+
+// handleMetrics is GET /metrics: the process telem registry in Prometheus
+// text exposition format (farm, store, core-cache, and live simulation
+// instruments all land in the same registry).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Handler().ServeHTTP(w, r)
+}
+
+// sseKeepalive is how often an idle event stream emits a comment line so
+// intermediaries don't reap the connection.
+const sseKeepalive = 15 * time.Second
+
+// handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream of
+// the job's lifecycle ("state") and simulation-progress ("progress")
+// events. The stream replays retained history, follows the live tail, and
+// terminates with an "end" event carrying the final job view once the job
+// reaches a terminal state.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.farm.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		farm.Counters
-		Store store.Counters `json:"store"`
-	}{s.farm.Counters(), s.store.Counters()})
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	events, unsubscribe := j.Subscribe()
+	defer unsubscribe()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case ev, ok := <-events:
+			if !ok {
+				// Channel closed: the job is terminal (the final "state"
+				// event has already been delivered). Close the stream with
+				// an explicit terminal event so clients need not infer the
+				// outcome from the connection dropping.
+				writeSSE(w, "end", 0, j.View())
+				fl.Flush()
+				return
+			}
+			writeSSE(w, ev.Type, ev.Seq, ev.Data)
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE renders one Server-Sent Event. Seq 0 omits the id field (used
+// by the synthetic terminal "end" event, which is outside the job's
+// sequence space).
+func writeSSE(w io.Writer, typ string, seq int64, data any) {
+	body, err := json.Marshal(data)
+	if err != nil {
+		body = []byte(fmt.Sprintf("{\"error\":%q}", err.Error()))
+	}
+	if seq > 0 {
+		fmt.Fprintf(w, "id: %d\n", seq)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", typ, body)
+}
+
+// handlePprof serves net/http/pprof under /debug/pprof/ when the server
+// was started with -pprof; otherwise the whole subtree answers 404 so
+// profiling endpoints are never exposed by accident.
+func (s *server) handlePprof(w http.ResponseWriter, r *http.Request) {
+	if !s.pprofOn {
+		httpError(w, http.StatusNotFound, errors.New("profiling disabled (start pimfarm with -pprof)"))
+		return
+	}
+	switch strings.TrimPrefix(r.URL.Path, "/debug/pprof/") {
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "profile":
+		pprof.Profile(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
+	}
 }
 
 // methodNotAllowed answers a JSON 405 for a known path hit with an
@@ -279,7 +492,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		// Headers are gone; nothing useful to do beyond logging.
-		fmt.Println("pimfarm: encode response:", err)
+		slog.Default().Error("encode response", "err", err.Error())
 	}
 }
 

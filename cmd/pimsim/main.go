@@ -38,9 +38,14 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the metrics snapshot as JSON instead of text")
 		traceFile  = flag.String("tracefile", "", "write a cycle-timeline trace (Chrome trace-event JSON) to this file")
 		traceCap   = flag.Int("tracecap", 0, "trace ring capacity in events (0 = default)")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Printf("pimsim %s (%s)\n", obs.Version(), obs.GoVersion())
+		return
+	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}

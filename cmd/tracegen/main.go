@@ -23,14 +23,19 @@ import (
 
 func main() {
 	var (
-		game   = flag.String("game", "", "game to capture (empty = all)")
-		width  = flag.Int("width", 640, "render width")
-		height = flag.Int("height", 480, "render height")
-		outDir = flag.String("out", ".", "output directory")
-		verify = flag.String("verify", "", "verify an existing trace file and exit")
+		game    = flag.String("game", "", "game to capture (empty = all)")
+		width   = flag.Int("width", 640, "render width")
+		height  = flag.Int("height", 480, "render height")
+		outDir  = flag.String("out", ".", "output directory")
+		verify  = flag.String("verify", "", "verify an existing trace file and exit")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Printf("tracegen %s (%s)\n", obs.Version(), obs.GoVersion())
+		return
+	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}

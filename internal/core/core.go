@@ -57,7 +57,17 @@ type Options struct {
 	// DRAM/HMC bandwidth meters). Tracing never perturbs simulated cycle
 	// counts. Export with Trace.WriteChromeTrace.
 	Trace *obs.Tracer
+	// Progress, when non-nil, receives in-flight reports (stage, supertile
+	// groups merged, cycles simulated) while each frame runs. Fragment-
+	// stage reports arrive from worker goroutines concurrently; the
+	// callback must be safe for concurrent use and must not block. Like
+	// Trace it is runtime-only: excluded from cache/store keys and never
+	// serialized, and it cannot perturb simulated results.
+	Progress func(Progress) `json:"-"`
 }
+
+// Progress is a point-in-time report of a frame simulation in flight.
+type Progress = gpu.Progress
 
 // Result is the outcome of one run.
 type Result struct {
@@ -257,6 +267,15 @@ func runScene(ctx context.Context, sc *scene.Scene, wl workload.Workload, cfg co
 		shards = 1
 	}
 	pipe.Shards = shards
+	onProgress, onFrameEnd := simTelemetry(cfg.Design)
+	if user := opts.Progress; user != nil {
+		pipe.Progress = func(pr gpu.Progress) {
+			onProgress(pr)
+			user(pr)
+		}
+	} else {
+		pipe.Progress = onProgress
+	}
 	pipe.NewWorker = func() (mem.Backend, gpu.TexturePath, func() uint64) {
 		wb, wp, wcube := buildDesign(cfg, opts.HMCCubes)
 		var internal func() uint64
@@ -297,6 +316,7 @@ func runScene(ctx context.Context, sc *scene.Scene, wl workload.Workload, cfg co
 		if err != nil {
 			return nil, err
 		}
+		onFrameEnd(backend)
 		// Merge the frame-level texture path's traffic into the frame
 		// traffic (worker-path traffic is already folded in per group).
 		if tr, ok := path.(trafficReporter); ok {

@@ -87,6 +87,7 @@ func RunCachedContext(ctx context.Context, wl workload.Workload, opts Options) (
 	}
 	key := cacheKey(wl, opts)
 	if r, ok := runCache.Get(key); ok {
+		runCacheOutcome("memory")
 		return r, nil
 	}
 	for {
@@ -94,12 +95,14 @@ func RunCachedContext(ctx context.Context, wl workload.Workload, opts Options) (
 			// Re-check under the flight: a call that completed between our
 			// cache miss and winning the flight may have filled the entry.
 			if r, ok := runCache.Get(key); ok {
+				runCacheOutcome("memory")
 				return r, nil
 			}
 			st := ResultStore()
 			if st != nil {
 				if r, ok := loadStoredResult(st, key); ok {
 					runCache.Add(key, r)
+					runCacheOutcome("disk")
 					return r, nil
 				}
 			}
@@ -107,6 +110,7 @@ func RunCachedContext(ctx context.Context, wl workload.Workload, opts Options) (
 			if err != nil {
 				return nil, err
 			}
+			runCacheOutcome("compute")
 			runCache.Add(key, r)
 			if st != nil {
 				saveStoredResult(st, key, r)

@@ -108,7 +108,8 @@ type storedResult struct {
 // payload.
 func encodeStoredResult(r *Result) (store.Manifest, []byte, error) {
 	opts := r.Options
-	opts.Trace = nil // runtime-only; not part of the cell's identity
+	opts.Trace = nil    // runtime-only; not part of the cell's identity
+	opts.Progress = nil // likewise (and func values cannot be serialized)
 	frame := *r.Frame
 	frame.Image = nil // packed separately
 	sr := storedResult{

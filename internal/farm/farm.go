@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/farm/lru"
 	"repro/internal/obs"
+	"repro/internal/obs/telem"
 )
 
 // Defaults used when Config fields are zero.
@@ -67,6 +68,10 @@ type Task struct {
 	Key string
 	// Label names the task in job listings and trace spans.
 	Label string
+	// Origin tags the task with where it came from (e.g. an HTTP request
+	// ID). It is appended to trace span names and surfaced in job views,
+	// tying a span or log line back to the request that caused it.
+	Origin string
 	// Meta is an opaque caller payload surfaced on the Job (pimfarm stores
 	// the parsed request here).
 	Meta any
@@ -107,6 +112,54 @@ type Config struct {
 	// Tracer, when non-nil, receives job lifecycle spans (wall-clock
 	// microseconds since the farm started).
 	Tracer *obs.Tracer
+	// Metrics is the live-telemetry registry the farm publishes pimfarm_*
+	// series into; nil selects telem.Default().
+	Metrics *telem.Registry
+}
+
+// farmMetrics holds the farm's live-telemetry instruments. They mirror
+// the atomic counters behind Counters — the atomics stay authoritative
+// for /varz; these exist so /metrics exposes the same activity in
+// Prometheus form without a registry scrape touching farm internals.
+type farmMetrics struct {
+	submitted                              *telem.Counter
+	done, failed, canceled                 *telem.Counter
+	deduped, cacheHits, tierHits, tierPuts *telem.Counter
+	retries                                *telem.Counter
+	queued, running                        *telem.Gauge
+	queueWait, runDur                      *telem.Histogram
+}
+
+func newFarmMetrics(r *telem.Registry) farmMetrics {
+	completed := func(state string) *telem.Counter {
+		return r.Counter("pimfarm_jobs_completed_total",
+			"Jobs reaching a terminal state, by outcome.", telem.Labels{"state": state})
+	}
+	return farmMetrics{
+		submitted: r.Counter("pimfarm_jobs_submitted_total",
+			"Jobs accepted by Submit (including cache hits and dedup followers).", nil),
+		done:     completed("done"),
+		failed:   completed("failed"),
+		canceled: completed("canceled"),
+		deduped: r.Counter("pimfarm_jobs_deduped_total",
+			"Submissions that attached to an in-flight job with the same key.", nil),
+		cacheHits: r.Counter("pimfarm_cache_hits_total",
+			"Submissions served from the in-memory result cache.", nil),
+		tierHits: r.Counter("pimfarm_tier_hits_total",
+			"Jobs served from the durable store tier.", nil),
+		tierPuts: r.Counter("pimfarm_tier_puts_total",
+			"Computed results written through to the durable store tier.", nil),
+		retries: r.Counter("pimfarm_job_retries_total",
+			"Task retry attempts after transient failures.", nil),
+		queued: r.Gauge("pimfarm_jobs_queued",
+			"Jobs waiting in the farm queue.", nil),
+		running: r.Gauge("pimfarm_jobs_running",
+			"Jobs currently executing on workers.", nil),
+		queueWait: r.Histogram("pimfarm_job_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", nil, nil),
+		runDur: r.Histogram("pimfarm_job_run_seconds",
+			"Task execution time (including retries) for computed jobs.", nil, nil),
+	}
 }
 
 // Counters is a point-in-time snapshot of farm activity (the /varz body).
@@ -135,6 +188,7 @@ type Counters struct {
 // Farm schedules Tasks over a worker pool.
 type Farm struct {
 	cfg   Config
+	met   farmMetrics
 	queue chan *Job
 	t0    time.Time
 
@@ -193,9 +247,14 @@ func New(cfg Config) *Farm {
 	if cfg.RetainDone <= 0 {
 		cfg.RetainDone = DefaultRetainDone
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telem.Default()
+	}
 	root, cancel := context.WithCancel(context.Background())
 	f := &Farm{
 		cfg:      cfg,
+		met:      newFarmMetrics(reg),
 		queue:    make(chan *Job, cfg.QueueDepth),
 		t0:       time.Now(),
 		root:     root,
@@ -233,16 +292,20 @@ func (f *Farm) Submit(ctx context.Context, t Task) (*Job, error) {
 		id:       fmt.Sprintf("job-%06d", f.nextID+1),
 		label:    t.Label,
 		key:      t.Key,
+		origin:   t.Origin,
 		meta:     t.Meta,
 		state:    Queued,
 		enqueued: now,
 		done:     make(chan struct{}),
 	}
-	j.ctx, j.cancel = context.WithCancel(f.root)
+	// The job rides in its own context so Run closures can reach it
+	// (JobFromContext) to publish progress events before Submit returns.
+	j.ctx, j.cancel = context.WithCancel(context.WithValue(f.root, jobCtxKey{}, j))
 	f.nextID++
 	f.jobsWG.Add(1)
 	f.register(j)
 	f.submitted.Add(1)
+	f.met.submitted.Inc()
 
 	// Cache hit: complete without touching the queue.
 	if t.Key != "" {
@@ -252,7 +315,9 @@ func (f *Farm) Submit(ctx context.Context, t Task) (*Job, error) {
 			j.cacheHit = true
 			j.mu.Unlock()
 			f.cacheHits.Add(1)
-			f.cfg.Tracer.Instant("farm/cache", t.Label, f.us(time.Now()))
+			f.met.cacheHits.Inc()
+			j.publishState()
+			f.cfg.Tracer.Instant("farm/cache", j.spanName(), f.us(time.Now()))
 			f.finish(j, Done, v, nil)
 			return j, nil
 		}
@@ -264,15 +329,19 @@ func (f *Farm) Submit(ctx context.Context, t Task) (*Job, error) {
 			j.deduped = true
 			j.mu.Unlock()
 			f.deduped.Add(1)
+			f.met.deduped.Inc()
+			j.publishState()
 			return j, nil
 		}
 		f.inflight[t.Key] = &leader{job: j}
 	}
 	j.run = t.Run
 	f.mu.Unlock()
+	j.publishState()
 
 	select {
 	case f.queue <- j:
+		f.met.queued.Set(float64(len(f.queue)))
 		return j, nil
 	case <-ctx.Done():
 		f.finish(j, Canceled, nil, ctx.Err())
@@ -281,6 +350,18 @@ func (f *Farm) Submit(ctx context.Context, t Task) (*Job, error) {
 		f.finish(j, Canceled, nil, ErrShutdown)
 		return nil, ErrShutdown
 	}
+}
+
+// jobCtxKey keys the *Job carried by each job's execution context.
+type jobCtxKey struct{}
+
+// JobFromContext returns the job whose Run is executing under ctx, if
+// any. Task closures use it to publish progress events onto their own
+// job without needing the *Job handle (which Submit has not returned yet
+// when a worker may already be running the task).
+func JobFromContext(ctx context.Context) (*Job, bool) {
+	j, ok := ctx.Value(jobCtxKey{}).(*Job)
+	return j, ok
 }
 
 // Do submits a task and waits for its result.
@@ -445,6 +526,7 @@ func (f *Farm) worker(id int) {
 // singleflight followers).
 func (f *Farm) execute(track string, j *Job) {
 	start := time.Now()
+	f.met.queued.Set(float64(len(f.queue)))
 	j.mu.Lock()
 	if j.state.Terminal() { // canceled while queued
 		j.mu.Unlock()
@@ -453,6 +535,8 @@ func (f *Farm) execute(track string, j *Job) {
 	j.state = Running
 	j.started = start
 	j.mu.Unlock()
+	f.met.queueWait.Observe(start.Sub(j.enqueued).Seconds())
+	j.publishState()
 
 	// Second-tier lookup (memory → tier → compute): a persisted result
 	// completes the job — and its singleflight followers — without
@@ -460,26 +544,30 @@ func (f *Farm) execute(track string, j *Job) {
 	if j.key != "" && f.cfg.Tier != nil {
 		if v, ok := f.cfg.Tier.Get(j.key); ok {
 			f.tierHits.Add(1)
+			f.met.tierHits.Inc()
 			j.mu.Lock()
 			j.tierHit = true
 			j.mu.Unlock()
 			f.cache.Add(j.key, v)
-			f.cfg.Tracer.Instant("farm/store", j.label, f.us(time.Now()))
+			f.cfg.Tracer.Instant("farm/store", j.spanName(), f.us(time.Now()))
 			f.finish(j, Done, v, nil)
 			return
 		}
 	}
 
 	f.running.Add(1)
+	f.met.running.Inc()
 	v, err := f.runWithRetry(j)
 	f.running.Add(-1)
+	f.met.running.Dec()
 
 	end := time.Now()
 	f.busyNs.Add(int64(end.Sub(start)))
+	f.met.runDur.Observe(end.Sub(start).Seconds())
 
 	if f.cfg.Tracer.On() {
-		f.cfg.Tracer.Span("farm/queue", j.label, f.us(j.enqueued), f.us(start))
-		f.cfg.Tracer.SpanArg(track, j.label, f.us(start), f.us(end),
+		f.cfg.Tracer.Span("farm/queue", j.spanName(), f.us(j.enqueued), f.us(start))
+		f.cfg.Tracer.SpanArg(track, j.spanName(), f.us(start), f.us(end),
 			"attempts", int64(f.attempts(j)))
 	}
 
@@ -498,6 +586,7 @@ func (f *Farm) execute(track string, j *Job) {
 		if f.cfg.Tier != nil {
 			f.cfg.Tier.Put(j.key, v)
 			f.tierPuts.Add(1)
+			f.met.tierPuts.Inc()
 		}
 	}
 	f.finish(j, Done, v, nil)
@@ -523,6 +612,7 @@ func (f *Farm) runWithRetry(j *Job) (any, error) {
 			return v, err
 		}
 		f.retries.Add(1)
+		f.met.retries.Inc()
 		select {
 		case <-time.After(backoff):
 		case <-j.ctx.Done():
@@ -565,6 +655,10 @@ func (f *Farm) completeOne(j *Job, s State, v any, err error, now time.Time) {
 	j.err = err
 	j.finished = now
 	j.mu.Unlock()
+	// Publish the terminal state, then close every event subscriber: an
+	// SSE consumer always sees the terminal "state" event before EOF.
+	j.publishState()
+	j.closeEvents()
 	close(j.done)
 	if j.cancel != nil {
 		j.cancel() // release the job context's resources
@@ -573,10 +667,13 @@ func (f *Farm) completeOne(j *Job, s State, v any, err error, now time.Time) {
 	switch s {
 	case Done:
 		f.done.Add(1)
+		f.met.done.Inc()
 	case Failed:
 		f.failed.Add(1)
+		f.met.failed.Inc()
 	case Canceled:
 		f.canceled.Add(1)
+		f.met.canceled.Inc()
 	}
 	f.jobsWG.Done()
 }

@@ -43,14 +43,36 @@ func (s State) String() string {
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
 
+// Event capacities. The subscriber channel is deeper than the replay log
+// so preloading history into a fresh subscription can never block.
+const (
+	// evLogCap bounds the per-job replay ring: a late subscriber sees at
+	// most this many historical events before the live tail.
+	evLogCap = 256
+	// evSubChanCap is each subscriber channel's buffer; a subscriber this
+	// far behind loses events rather than stalling the publisher.
+	evSubChanCap = 512
+)
+
+// Event is one entry in a job's lifecycle/progress stream (what pimfarm
+// serves over GET /v1/jobs/{id}/events). Seq increases by one per event
+// within a job, so consumers can detect drops.
+type Event struct {
+	Seq  int64     `json:"seq"`
+	Type string    `json:"type"` // "state", "progress", ...
+	Time time.Time `json:"time"`
+	Data any       `json:"data,omitempty"`
+}
+
 // Job is one submitted task tracked through its lifecycle. All fields are
 // guarded; read them through the accessor methods or View.
 type Job struct {
-	id    string
-	label string
-	key   string
-	meta  any
-	run   func(ctx context.Context) (any, error)
+	id     string
+	label  string
+	key    string
+	origin string
+	meta   any
+	run    func(ctx context.Context) (any, error)
 
 	// ctx is the job's execution context, derived from the farm's root at
 	// submission; cancel aborts this job alone (Farm.Cancel).
@@ -71,6 +93,14 @@ type Job struct {
 	finished time.Time
 
 	done chan struct{}
+
+	// Event stream state, under its own lock so publishers (worker
+	// goroutines, progress callbacks) never contend with job-state reads.
+	evMu     sync.Mutex
+	evSeq    int64
+	evLog    []Event
+	evSubs   map[chan Event]struct{}
+	evClosed bool
 }
 
 // ID returns the farm-assigned job identifier.
@@ -84,6 +114,92 @@ func (j *Job) Key() string { return j.key }
 
 // Meta returns the caller payload attached at submission.
 func (j *Job) Meta() any { return j.meta }
+
+// Origin returns the request origin tag attached at submission ("" when
+// the caller set none).
+func (j *Job) Origin() string { return j.origin }
+
+// spanName is the label used in trace spans, qualified with the origin so
+// a span in a farm trace can be tied back to the request that caused it.
+func (j *Job) spanName() string {
+	if j.origin == "" {
+		return j.label
+	}
+	return j.label + " [" + j.origin + "]"
+}
+
+// Publish appends an event to the job's stream: it is recorded in the
+// bounded replay ring and fanned out to live subscribers (a subscriber
+// whose buffer is full loses the event rather than blocking the
+// publisher). Publishing to a job whose stream has closed is a no-op.
+// Safe for concurrent use; task Run closures may call it freely.
+func (j *Job) Publish(typ string, data any) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	if j.evClosed {
+		return
+	}
+	j.evSeq++
+	ev := Event{Seq: j.evSeq, Type: typ, Time: time.Now(), Data: data}
+	j.evLog = append(j.evLog, ev)
+	if len(j.evLog) > evLogCap {
+		j.evLog = append(j.evLog[:0], j.evLog[len(j.evLog)-evLogCap:]...)
+	}
+	for ch := range j.evSubs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall
+		}
+	}
+}
+
+// publishState emits a "state" event carrying the job's current View.
+func (j *Job) publishState() { j.Publish("state", j.View()) }
+
+// Subscribe returns a channel of the job's events, starting with a replay
+// of the retained history, and a cancel func releasing the subscription.
+// The channel is closed when the job reaches a terminal state (after the
+// terminal "state" event is delivered) or when cancel is called.
+// Subscribing to an already-terminal job replays history and returns an
+// already-closed channel.
+func (j *Job) Subscribe() (<-chan Event, func()) {
+	j.evMu.Lock()
+	ch := make(chan Event, evSubChanCap)
+	for _, ev := range j.evLog {
+		ch <- ev // buffer cap exceeds evLogCap; never blocks
+	}
+	if j.evClosed {
+		close(ch)
+		j.evMu.Unlock()
+		return ch, func() {}
+	}
+	if j.evSubs == nil {
+		j.evSubs = make(map[chan Event]struct{})
+	}
+	j.evSubs[ch] = struct{}{}
+	j.evMu.Unlock()
+	cancel := func() {
+		j.evMu.Lock()
+		if _, ok := j.evSubs[ch]; ok {
+			delete(j.evSubs, ch)
+			close(ch)
+		}
+		j.evMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// closeEvents marks the stream terminal and closes every subscriber
+// channel. Later Publish and Subscribe calls observe the closed state.
+func (j *Job) closeEvents() {
+	j.evMu.Lock()
+	j.evClosed = true
+	for ch := range j.evSubs {
+		close(ch)
+	}
+	j.evSubs = nil
+	j.evMu.Unlock()
+}
 
 // State returns the current lifecycle state.
 func (j *Job) State() State {
@@ -129,6 +245,7 @@ type View struct {
 	ID       string     `json:"id"`
 	Label    string     `json:"label,omitempty"`
 	Key      string     `json:"key,omitempty"`
+	Origin   string     `json:"origin,omitempty"`
 	State    string     `json:"state"`
 	Error    string     `json:"error,omitempty"`
 	Attempts int        `json:"attempts,omitempty"`
@@ -148,6 +265,7 @@ func (j *Job) View() View {
 		ID:       j.id,
 		Label:    j.label,
 		Key:      j.key,
+		Origin:   j.origin,
 		State:    j.state.String(),
 		Attempts: j.attempts,
 		Deduped:  j.deduped,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/config"
@@ -45,6 +46,12 @@ type Pipeline struct {
 	// Shards is the number of worker goroutines draining the group list
 	// (<=1 means serial). It never changes simulated results.
 	Shards int
+	// Progress, when set, receives stage-boundary and per-group completion
+	// reports while a frame is in flight. Fragment-stage reports arrive
+	// from worker goroutines concurrently; the callback must be safe for
+	// concurrent use and must not block. It never changes simulated
+	// results.
+	Progress func(Progress)
 	// NewWorker builds a private (backend, path, internal-byte counter)
 	// triple for one worker. The counter may be nil (no internal memory).
 	// When NewWorker is nil the groups run serially on Backend/Path.
@@ -138,15 +145,34 @@ func (p *Pipeline) RenderFrameContext(ctx context.Context, s *scene.Scene, frame
 	p.fs = shader.NewFragmentProgram(shader.Vec{ld.X, ld.Y, ld.Z, 0}, s.Ambient)
 
 	// --- Geometry stage (serial, frame-level backend) ---
+	p.report(Progress{Frame: frame, Stage: StageGeometry})
 	geomDone := p.runGeometry(s, view)
 	verts := p.transformVertices(s, view)
 
 	// --- Triangle setup + supertile binning (serial) ---
+	p.report(Progress{Frame: frame, Stage: StageSetup, Cycles: geomDone})
 	setupCycles, sts, groups := p.binTriangles(s, verts)
 	fragBase := geomDone + setupCycles
 
 	// --- Fragment stage: hermetic tile groups, fork/join ---
-	results, err := p.runGroups(ctx, sts, groups)
+	p.report(Progress{Frame: frame, Stage: StageFragment, GroupsTotal: len(groups), Cycles: fragBase})
+	var onGroup func(int64)
+	if p.Progress != nil {
+		// Per-group completion reports from worker goroutines. Group
+		// durations add commutatively, so the running cycle total is
+		// order-independent even though completion order is not.
+		var gdone, gcycles atomic.Int64
+		onGroup = func(dur int64) {
+			d := gdone.Add(1)
+			c := gcycles.Add(dur)
+			p.report(Progress{
+				Frame: frame, Stage: StageFragment,
+				GroupsDone: int(d), GroupsTotal: len(groups),
+				Cycles: fragBase + c,
+			})
+		}
+	}
+	results, err := p.runGroups(ctx, sts, groups, onGroup)
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +217,7 @@ func (p *Pipeline) RenderFrameContext(ctx context.Context, s *scene.Scene, frame
 	endCompute := offset
 
 	// --- End of frame: resolve on the frame-level backend ---
+	p.report(Progress{Frame: frame, Stage: StageResolve, GroupsDone: len(groups), GroupsTotal: len(groups), Cycles: endCompute})
 	resolveDone := p.resolveFrame(endCompute)
 	total := resolveDone
 	if b := p.Backend.BusyUntil(); b > total {
@@ -219,6 +246,7 @@ func (p *Pipeline) RenderFrameContext(ctx context.Context, s *scene.Scene, frame
 	res.Activity = p.activity
 	res.Image = make([]uint32, len(p.fb.Color))
 	copy(res.Image, p.fb.Color)
+	p.report(Progress{Frame: frame, Stage: StageDone, GroupsDone: len(groups), GroupsTotal: len(groups), Cycles: total})
 	return res, nil
 }
 

@@ -1,0 +1,46 @@
+package gpu
+
+// Stage identifies where a frame currently is in the pipeline.
+type Stage string
+
+const (
+	// StageGeometry is vertex fetch + shading.
+	StageGeometry Stage = "geometry"
+	// StageSetup is triangle setup + supertile binning.
+	StageSetup Stage = "setup"
+	// StageFragment is the fork/join tile-group fragment stage.
+	StageFragment Stage = "fragment"
+	// StageResolve is the end-of-frame present/scan-out pass.
+	StageResolve Stage = "resolve"
+	// StageDone marks a fully simulated frame.
+	StageDone Stage = "done"
+)
+
+// Progress is a point-in-time report of a frame simulation in flight:
+// which stage is running, how many supertile groups have completed out of
+// the frame's fixed group list, and how many cycles of the frame timeline
+// are accounted for so far. During the fragment stage Cycles grows by
+// each finished group's duration as it completes; group durations merge
+// commutatively, so the running total is deterministic at the end even
+// though the in-flight ordering is not.
+//
+// Reports are observational only — they are derived from values the
+// timing model already produced and can never feed back into it — so
+// simulated results are byte-identical with and without a callback.
+type Progress struct {
+	Frame       int   `json:"frame"`
+	Stage       Stage `json:"stage"`
+	GroupsDone  int   `json:"groups_done"`
+	GroupsTotal int   `json:"groups_total"`
+	Cycles      int64 `json:"cycles"`
+}
+
+// report invokes the pipeline's progress callback if one is attached.
+// During the fragment stage it is called from worker goroutines
+// concurrently, so callbacks must be safe for concurrent use (publish to
+// atomics, channels, or instruments — never into simulator state).
+func (p *Pipeline) report(pr Progress) {
+	if p.Progress != nil {
+		p.Progress(pr)
+	}
+}

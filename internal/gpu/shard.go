@@ -409,8 +409,10 @@ func (p *Pipeline) binTriangles(s *scene.Scene, verts []raster.Vertex) (int64, [
 
 // runGroups drains the fixed group list with p.Shards worker goroutines
 // and returns per-group results indexed in group order. Cancellation is
-// observed at group boundaries.
-func (p *Pipeline) runGroups(ctx context.Context, sts []raster.SetupTriangle, groups [][]workItem) ([]groupResult, error) {
+// observed at group boundaries. onGroup, when non-nil, is called with
+// each group's duration as it completes (from worker goroutines in the
+// parallel path); it must not touch simulator state.
+func (p *Pipeline) runGroups(ctx context.Context, sts []raster.SetupTriangle, groups [][]workItem, onGroup func(int64)) ([]groupResult, error) {
 	results := make([]groupResult, len(groups))
 	if len(groups) == 0 {
 		return results, ctx.Err()
@@ -427,6 +429,9 @@ func (p *Pipeline) runGroups(ctx context.Context, sts []raster.SetupTriangle, gr
 				return nil, err
 			}
 			results[g] = w.runGroup(groups[g], sts)
+			if onGroup != nil {
+				onGroup(results[g].duration)
+			}
 		}
 		// Leave the shared units clean so frame-level consumers (resolve,
 		// path traffic readers) do not observe — or double count — the
@@ -460,6 +465,9 @@ func (p *Pipeline) runGroups(ctx context.Context, sts []raster.SetupTriangle, gr
 					return
 				}
 				results[g] = w.runGroup(groups[g], sts)
+				if onGroup != nil {
+					onGroup(results[g].duration)
+				}
 			}
 		}()
 	}

@@ -1,0 +1,163 @@
+// Package slogx configures stdlib log/slog for the render-farm services:
+// a compact single-line text handler (level, message, key=value attrs —
+// no timestamps by default so test output and CI logs stay stable), a
+// level parser for -log-level flags, and context helpers that carry a
+// request-scoped logger so handlers deep in the stack log with the
+// request ID already attached.
+package slogx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ParseLevel maps a -log-level flag value (debug, info, warn, error;
+// case-insensitive) to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("slogx: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Options configures New.
+type Options struct {
+	// Level is the minimum level to emit. Records below it are dropped.
+	Level slog.Level
+	// Timestamps prepends an RFC3339 timestamp to each line. Off by
+	// default so logs diff cleanly in tests and CI.
+	Timestamps bool
+}
+
+// New builds a logger writing compact single-line records to w:
+//
+//	INFO job submitted id=job-000001 req=r-0007 design=atfim
+func New(w io.Writer, opts Options) *slog.Logger {
+	return slog.New(&handler{w: w, opts: opts, mu: &sync.Mutex{}})
+}
+
+// handler is a minimal slog.Handler emitting one line per record. Group
+// names dot-qualify their attrs (g.k=v).
+type handler struct {
+	w      io.Writer
+	opts   Options
+	mu     *sync.Mutex // shared across WithAttrs/WithGroup clones
+	attrs  string      // pre-rendered " k=v k=v" prefix attrs
+	groups []string
+}
+
+func (h *handler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.opts.Level
+}
+
+func (h *handler) Handle(_ context.Context, rec slog.Record) error {
+	var b strings.Builder
+	if h.opts.Timestamps && !rec.Time.IsZero() {
+		b.WriteString(rec.Time.Format(time.RFC3339))
+		b.WriteByte(' ')
+	}
+	b.WriteString(rec.Level.String())
+	b.WriteByte(' ')
+	b.WriteString(rec.Message)
+	b.WriteString(h.attrs)
+	prefix := strings.Join(h.groups, ".")
+	rec.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, prefix, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func (h *handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h2 := *h
+	var b strings.Builder
+	b.WriteString(h.attrs)
+	prefix := strings.Join(h.groups, ".")
+	for _, a := range attrs {
+		appendAttr(&b, prefix, a)
+	}
+	h2.attrs = b.String()
+	return &h2
+}
+
+func (h *handler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	h2 := *h
+	h2.groups = append(append([]string(nil), h.groups...), name)
+	return &h2
+}
+
+func appendAttr(b *strings.Builder, prefix string, a slog.Attr) {
+	a.Value = a.Value.Resolve()
+	if a.Value.Kind() == slog.KindGroup {
+		sub := a.Key
+		if prefix != "" {
+			sub = prefix + "." + sub
+		}
+		for _, ga := range a.Value.Group() {
+			appendAttr(b, sub, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	b.WriteByte(' ')
+	if prefix != "" {
+		b.WriteString(prefix)
+		b.WriteByte('.')
+	}
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	b.WriteString(renderValue(a.Value))
+}
+
+// renderValue formats a value, quoting strings that would be ambiguous
+// in key=value output.
+func renderValue(v slog.Value) string {
+	s := v.String()
+	if v.Kind() == slog.KindString && (s == "" || strings.ContainsAny(s, " \t\n\"=")) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+type ctxKey struct{}
+
+// WithLogger returns ctx carrying l; From retrieves it.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxKey{}, l)
+}
+
+// From returns the logger carried by ctx, or a discard-everything logger
+// so call sites never nil-check.
+func From(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return Discard()
+}
+
+var discard = slog.New(&handler{w: io.Discard, opts: Options{Level: slog.Level(127)}, mu: &sync.Mutex{}})
+
+// Discard returns a logger that drops every record.
+func Discard() *slog.Logger { return discard }

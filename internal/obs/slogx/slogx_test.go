@@ -1,0 +1,117 @@
+package slogx
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) did not error")
+	}
+}
+
+func TestCompactFormat(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, Options{Level: slog.LevelInfo})
+	l.Info("job submitted", "id", "job-000001", "shards", 4)
+	l.Debug("dropped", "k", "v")
+	l.Warn("odd value", "msg", `has "quotes" and spaces`)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (debug filtered):\n%s", len(lines), out)
+	}
+	if lines[0] != `INFO job submitted id=job-000001 shards=4` {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if lines[1] != `WARN odd value msg="has \"quotes\" and spaces"` {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+}
+
+func TestWithAttrsAndGroups(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, Options{}).With("req", "r-1").WithGroup("job")
+	l.Info("done", "id", "job-7")
+	got := strings.TrimRight(sb.String(), "\n")
+	if got != `INFO done req=r-1 job.id=job-7` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, Options{})
+	ctx := WithLogger(context.Background(), l)
+	From(ctx).Info("via ctx")
+	if !strings.Contains(sb.String(), "INFO via ctx") {
+		t.Fatalf("context logger not used: %q", sb.String())
+	}
+	// Missing logger → discard, never nil.
+	From(context.Background()).Info("dropped")
+	if strings.Contains(sb.String(), "dropped") {
+		t.Fatal("discard logger wrote output")
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	var sb lockedBuilder
+	l := New(&sb, Options{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Info("tick", "n", j)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "INFO tick n=") {
+			t.Fatalf("interleaved line %q", ln)
+		}
+	}
+}
+
+// lockedBuilder guards the underlying builder: the handler serializes
+// whole-line writes, but the builder itself is not safe for the final
+// read while writes race without it.
+type lockedBuilder struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *lockedBuilder) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *lockedBuilder) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}

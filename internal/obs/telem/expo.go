@@ -1,0 +1,152 @@
+package telem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type for the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// famView is a consistent copy of one family taken under the registry
+// lock; the series pointers stay live (instruments are individually
+// synchronized) but the slice itself is immune to concurrent
+// registration.
+type famView struct {
+	name    string
+	help    string
+	kind    Kind
+	buckets []float64
+	series  []*series
+}
+
+// WriteTo renders every registered family in Prometheus text exposition
+// format v0.0.4: families sorted by name, each preceded by its # HELP and
+// # TYPE lines, series sorted by label signature, histograms expanded to
+// cumulative _bucket{le=...} samples plus _sum and _count.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	fams := make([]famView, 0, len(r.families))
+	for _, f := range r.families {
+		fv := famView{name: f.name, help: f.help, kind: f.kind, buckets: f.buckets}
+		fv.series = make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			fv.series = append(fv.series, s)
+		}
+		sort.Slice(fv.series, func(i, j int) bool { return fv.series[i].labels < fv.series[j].labels })
+		fams = append(fams, fv)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	for _, f := range fams {
+		writeFamily(cw, f)
+		if cw.err != nil {
+			return cw.n, cw.err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.err
+}
+
+// Handler returns an http.Handler serving the registry as GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteTo(w)
+	})
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) printf(format string, args ...any) {
+	if cw.err != nil {
+		return
+	}
+	n, err := fmt.Fprintf(cw.w, format, args...)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func writeFamily(cw *countingWriter, f famView) {
+	if f.help != "" {
+		cw.printf("# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	cw.printf("# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range f.series {
+		switch f.kind {
+		case KindCounter:
+			cw.printf("%s %s\n", sampleName(f.name, s.labels), formatFloat(float64(s.c.Value())))
+		case KindGauge:
+			cw.printf("%s %s\n", sampleName(f.name, s.labels), formatFloat(s.g.Value()))
+		case KindHistogram:
+			counts, sum, count := s.h.snapshot()
+			var cum uint64
+			for i, b := range f.buckets {
+				cum += counts[i]
+				cw.printf("%s %d\n", sampleName(f.name+"_bucket", joinLabels(s.labels, `le="`+formatFloat(b)+`"`)), cum)
+			}
+			cum += counts[len(f.buckets)]
+			cw.printf("%s %d\n", sampleName(f.name+"_bucket", joinLabels(s.labels, `le="+Inf"`)), cum)
+			cw.printf("%s %s\n", sampleName(f.name+"_sum", s.labels), formatFloat(sum))
+			cw.printf("%s %d\n", sampleName(f.name+"_count", s.labels), count)
+		}
+	}
+}
+
+// sampleName renders `name` or `name{labels}`.
+func sampleName(name, sig string) string {
+	if sig == "" {
+		return name
+	}
+	return name + "{" + sig + "}"
+}
+
+// joinLabels appends one more rendered label pair to a signature.
+func joinLabels(sig, pair string) string {
+	if sig == "" {
+		return pair
+	}
+	return sig + "," + pair
+}
+
+// formatFloat renders a sample value: shortest round-trip representation,
+// with the exposition spellings for infinities.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in HELP text (quotes are legal
+// there, unlike in label values).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,293 @@
+package telem
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter", nil)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_total", "a counter", nil); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("test_gauge", "a gauge", nil)
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(-0.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("jobs_total", "jobs", Labels{"state": "done"})
+	b := r.Counter("jobs_total", "jobs", Labels{"state": "failed"})
+	if a == b {
+		t.Fatal("distinct label sets shared an instrument")
+	}
+	a.Add(3)
+	b.Add(1)
+	if a.Value() != 3 || b.Value() != 1 {
+		t.Fatalf("label series mixed counts: %d / %d", a.Value(), b.Value())
+	}
+	// Same labels in any map construction order → same series.
+	if c := r.Counter("jobs_total", "jobs", Labels{"state": "done"}); c != a {
+		t.Fatal("same label set returned a different instrument")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10}, nil)
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	counts, sum, count := h.snapshot()
+	// le semantics: 0.1 lands in the 0.1 bucket, 100 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, counts[i], w, counts)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if sum != 102.65 {
+		t.Fatalf("sum = %v, want 102.65", sum)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "", nil)
+	g := r.Gauge("x", "", nil)
+	h := r.Histogram("x_seconds", "", nil, nil)
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments reported values")
+	}
+	if n, err := r.WriteTo(nil); n != 0 || err != nil {
+		t.Fatalf("nil registry WriteTo = (%d, %v)", n, err)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dual_total", "", nil)
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "", nil)
+		}()
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("concurrent_total", "", Labels{"w": strconv.Itoa(i % 2)})
+			g := r.Gauge("concurrent_gauge", "", nil)
+			h := r.Histogram("concurrent_seconds", "", nil, nil)
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) / 100)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var sb strings.Builder
+		for i := 0; i < 50; i++ {
+			sb.Reset()
+			if _, err := r.WriteTo(&sb); err != nil {
+				t.Errorf("WriteTo during writes: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	total := r.Counter("concurrent_total", "", Labels{"w": "0"}).Value() +
+		r.Counter("concurrent_total", "", Labels{"w": "1"}).Value()
+	if total != 8000 {
+		t.Fatalf("counter total = %d, want 8000", total)
+	}
+	if g := r.Gauge("concurrent_gauge", "", nil).Value(); g != 8000 {
+		t.Fatalf("gauge = %v, want 8000", g)
+	}
+	if n := r.Histogram("concurrent_seconds", "", nil, nil).Count(); n != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", n)
+	}
+}
+
+// TestScrapeFormat parses the exposition output line-by-line and checks
+// the structural invariants a Prometheus scraper relies on: HELP before
+// TYPE before samples, families sorted, label values escaped, histogram
+// cumulative buckets ending at an +Inf bucket equal to _count.
+func TestScrapeFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aaa_total", "first counter", nil).Add(7)
+	r.Gauge("bbb_bytes", "weird \"value\"\nwith newline", Labels{"path": `C:\tmp`, "q": "say \"hi\"\nok"}).Set(12.5)
+	h := r.Histogram("ccc_seconds", "latency", []float64{0.5, 2}, Labels{"op": "run"})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(9)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+
+	type famState struct {
+		sawHelp, sawType bool
+	}
+	fams := map[string]*famState{}
+	var order []string
+	samples := map[string]float64{}
+	current := ""
+	for i, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "# HELP "):
+			name := strings.SplitN(strings.TrimPrefix(ln, "# HELP "), " ", 2)[0]
+			if fams[name] != nil {
+				t.Fatalf("line %d: duplicate HELP for %s", i, name)
+			}
+			fams[name] = &famState{sawHelp: true}
+			order = append(order, name)
+			current = name
+		case strings.HasPrefix(ln, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(ln, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE line %q", i, ln)
+			}
+			name := parts[0]
+			if name != current || fams[name] == nil || !fams[name].sawHelp {
+				t.Fatalf("line %d: TYPE %s not directly after its HELP", i, name)
+			}
+			if fams[name].sawType {
+				t.Fatalf("line %d: duplicate TYPE for %s", i, name)
+			}
+			fams[name].sawType = true
+		case ln == "":
+			t.Fatalf("line %d: blank line in exposition", i)
+		default:
+			sp := strings.LastIndex(ln, " ")
+			if sp < 0 {
+				t.Fatalf("line %d: malformed sample %q", i, ln)
+			}
+			key, valStr := ln[:sp], ln[sp+1:]
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad sample value %q: %v", i, valStr, err)
+			}
+			base := key
+			if b := strings.IndexByte(base, '{'); b >= 0 {
+				base = base[:b]
+			}
+			base = strings.TrimSuffix(base, "_bucket")
+			base = strings.TrimSuffix(base, "_sum")
+			base = strings.TrimSuffix(base, "_count")
+			if base != current && key != "" {
+				// Samples must stay inside the family block whose TYPE
+				// introduced them.
+				if fams[base] == nil || !fams[base].sawType {
+					t.Fatalf("line %d: sample %q before its TYPE", i, key)
+				}
+			}
+			samples[key] = v
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("families not sorted: %q before %q", order[i-1], order[i])
+		}
+	}
+
+	if got := samples["aaa_total"]; got != 7 {
+		t.Fatalf("aaa_total = %v, want 7", got)
+	}
+	wantGauge := `bbb_bytes{path="C:\\tmp",q="say \"hi\"\nok"}`
+	if got, ok := samples[wantGauge]; !ok || got != 12.5 {
+		t.Fatalf("escaped gauge sample missing or wrong: have %v (keys: %v)", got, keysOf(samples))
+	}
+	if !strings.Contains(out, `weird "value"\nwith newline`) {
+		t.Fatal("HELP newline not escaped (or quotes wrongly escaped)")
+	}
+
+	// Histogram invariants: cumulative non-decreasing buckets, +Inf bucket
+	// equals _count, and _sum matches the observations.
+	b1 := samples[`ccc_seconds_bucket{op="run",le="0.5"}`]
+	b2 := samples[`ccc_seconds_bucket{op="run",le="2"}`]
+	bInf := samples[`ccc_seconds_bucket{op="run",le="+Inf"}`]
+	cnt := samples[`ccc_seconds_count{op="run"}`]
+	sum := samples[`ccc_seconds_sum{op="run"}`]
+	if b1 != 1 || b2 != 2 || bInf != 3 {
+		t.Fatalf("cumulative buckets = %v/%v/%v, want 1/2/3", b1, b2, bInf)
+	}
+	if b1 > b2 || b2 > bInf {
+		t.Fatal("buckets not non-decreasing")
+	}
+	if bInf != cnt {
+		t.Fatalf("+Inf bucket %v != _count %v", bInf, cnt)
+	}
+	if sum != 10.25 {
+		t.Fatalf("_sum = %v, want 10.25", sum)
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

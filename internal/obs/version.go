@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the module version baked into the binary by the Go
+// toolchain, or "devel" for plain `go build` / `go run` trees where no
+// version stamp exists.
+func Version() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// GoVersion returns the Go toolchain version the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// BuildRevision returns the VCS revision recorded in the build info, or
+// "" when built outside a checkout.
+func BuildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/telem"
 )
 
 // SchemaVersion identifies the entry-file layout. A file whose header
@@ -95,6 +96,36 @@ type Config struct {
 	// Tracer, when non-nil, receives hit/miss/put/evict instants on the
 	// "store" track (wall-clock microseconds since Open).
 	Tracer *obs.Tracer
+	// Metrics is the live-telemetry registry the store publishes
+	// pim_store_* series into; nil selects telem.Default().
+	Metrics *telem.Registry
+}
+
+// storeMetrics holds the store's live-telemetry instruments.
+type storeMetrics struct {
+	hits, misses, corrupt    *telem.Counter
+	puts, putErrs, evictions *telem.Counter
+	entries, bytes           *telem.Gauge
+}
+
+func newStoreMetrics(r *telem.Registry) storeMetrics {
+	ops := func(op string) *telem.Counter {
+		return r.Counter("pim_store_ops_total",
+			"Durable result-store operations by outcome (hit, miss, corrupt, put, put_error, evict).",
+			telem.Labels{"op": op})
+	}
+	return storeMetrics{
+		hits:      ops("hit"),
+		misses:    ops("miss"),
+		corrupt:   ops("corrupt"),
+		puts:      ops("put"),
+		putErrs:   ops("put_error"),
+		evictions: ops("evict"),
+		entries: r.Gauge("pim_store_entries",
+			"Entries currently in the durable result store.", nil),
+		bytes: r.Gauge("pim_store_bytes",
+			"Bytes currently on disk in the durable result store.", nil),
+	}
 }
 
 // Counters is a point-in-time snapshot of store activity.
@@ -113,6 +144,7 @@ type Counters struct {
 type Store struct {
 	cfg Config
 	t0  time.Time
+	met storeMetrics
 
 	mu      sync.Mutex
 	entries int
@@ -142,7 +174,11 @@ func Open(cfg Config) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{cfg: cfg, t0: time.Now()}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telem.Default()
+	}
+	s := &Store{cfg: cfg, t0: time.Now(), met: newStoreMetrics(reg)}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, err := s.scanLocked(); err != nil {
@@ -173,6 +209,7 @@ func (s *Store) Get(key string) ([]byte, Manifest, bool) {
 		s.mu.Lock()
 		s.misses++
 		s.mu.Unlock()
+		s.met.misses.Inc()
 		s.trace("miss", 0)
 		return nil, Manifest{}, false
 	}
@@ -187,6 +224,7 @@ func (s *Store) Get(key string) ([]byte, Manifest, bool) {
 	s.mu.Lock()
 	s.hits++
 	s.mu.Unlock()
+	s.met.hits.Inc()
 	s.trace("hit", int64(len(payload)))
 	return payload, man, true
 }
@@ -236,7 +274,9 @@ func (s *Store) Put(key string, man Manifest, payload []byte) error {
 	if over {
 		s.gcLocked()
 	}
+	s.syncGaugesLocked()
 	s.mu.Unlock()
+	s.met.puts.Inc()
 	s.trace("put", int64(len(data)))
 	return nil
 }
@@ -322,6 +362,7 @@ func (s *Store) scanLocked() ([]entryInfo, error) {
 	for _, e := range ents {
 		s.bytes += e.size
 	}
+	s.syncGaugesLocked()
 	return ents, nil
 }
 
@@ -346,10 +387,19 @@ func (s *Store) gcLocked() int {
 			s.bytes -= e.size
 			s.evictions++
 			evicted++
+			s.met.evictions.Inc()
 			s.trace("evict", e.size)
 		}
 	}
+	s.syncGaugesLocked()
 	return evicted
+}
+
+// syncGaugesLocked mirrors the tracked entry/byte totals into the live
+// gauges. Caller holds s.mu.
+func (s *Store) syncGaugesLocked() {
+	s.met.entries.Set(float64(s.entries))
+	s.met.bytes.Set(float64(s.bytes))
 }
 
 // discardCorrupt deletes a defective entry file and counts it as a miss.
@@ -362,13 +412,17 @@ func (s *Store) discardCorrupt(path string, size int64) {
 		s.entries--
 		s.bytes -= size
 	}
+	s.syncGaugesLocked()
 	s.mu.Unlock()
+	s.met.misses.Inc()
+	s.met.corrupt.Inc()
 }
 
 func (s *Store) putErr(err error) error {
 	s.mu.Lock()
 	s.putErrors++
 	s.mu.Unlock()
+	s.met.putErrs.Inc()
 	return err
 }
 

@@ -104,6 +104,17 @@ func WithAngleThreshold(t float32) Option { return func(o *Options) { o.AngleThr
 // WithTracer attaches a cycle-timeline tracer to every instrumented unit.
 func WithTracer(tr *Tracer) Option { return func(o *Options) { o.Trace = tr } }
 
+// Progress is a point-in-time report of a frame simulation in flight:
+// the pipeline stage, supertile groups merged so far, and cycles
+// simulated.
+type Progress = core.Progress
+
+// WithProgress attaches a callback receiving in-flight reports while each
+// frame simulates. Fragment-stage reports arrive from worker goroutines
+// concurrently; fn must be safe for concurrent use and must not block.
+// Progress can never perturb simulated results.
+func WithProgress(fn func(Progress)) Option { return func(o *Options) { o.Progress = fn } }
+
 // WithFrames renders n consecutive frames (default 1).
 func WithFrames(n int) Option { return func(o *Options) { o.Frames = n } }
 

@@ -3,6 +3,7 @@ package repro_test
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -37,7 +38,10 @@ func TestFunctionalOptions(t *testing.T) {
 		!o.LinearLayout || !o.DisableConsolidation || o.MTUs != 8 {
 		t.Fatalf("ablation options not applied: %+v", o)
 	}
-	if zero := repro.NewOptions(); zero != (repro.Options{}) {
+	// Options carries func fields (Progress), so compare reflectively:
+	// DeepEqual treats funcs as equal only when both are nil, which is
+	// exactly the zero-value contract being pinned here.
+	if zero := repro.NewOptions(); !reflect.DeepEqual(zero, repro.Options{}) {
 		t.Fatalf("NewOptions() = %+v, want zero Options", zero)
 	}
 }
