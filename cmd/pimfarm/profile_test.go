@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestJobProfileEndpoint is the frame-anatomy capture contract: a job
+// submitted with "profile": true that really simulates exposes its
+// pim-render/frameprofile/v1 artifact at GET /v1/jobs/{id}/profile, while
+// cache-served twins and unprofiled jobs answer 404.
+func TestJobProfileEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	core.ClearRunCache() // the profiled job must really simulate
+	ts, _ := newTestServer(t)
+
+	submit := func(body string) jobResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs?wait=true", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr jobResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || jr.State != "done" {
+			t.Fatalf("wait=true status = %d state = %q (%s)", resp.StatusCode, jr.State, jr.Error)
+		}
+		return jr
+	}
+
+	profiled := submit(`{"game":"doom3","width":320,"height":240,"design":"bpim","profile":true}`)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + profiled.ID + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("profile status = %d: %s", resp.StatusCode, body)
+	}
+	fp, err := obs.ReadFrameProfile(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("profile body is not a frameprofile/v1 artifact: %v", err)
+	}
+	if fp.Workload != "doom3-320x240" || fp.Design != "B-PIM" {
+		t.Fatalf("artifact identity %q/%q", fp.Workload, fp.Design)
+	}
+	if len(fp.Frames) == 0 {
+		t.Fatal("artifact has no frames")
+	}
+	f := fp.Frames[0]
+	if len(f.Timelines) < 2 || len(f.Groups) == 0 {
+		t.Fatalf("artifact anatomy too thin: %d timelines, %d groups",
+			len(f.Timelines), len(f.Groups))
+	}
+
+	// A twin submission is served from the run cache, so no artifact is
+	// captured under its job ID; the 404 explains the caveat.
+	twin := submit(`{"game":"doom3","width":320,"height":240,"design":"bpim","profile":true}`)
+	if twin.ID == profiled.ID {
+		t.Fatal("twin reused the original job ID")
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + twin.ID + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		resp.Body.Close()
+		t.Fatalf("cache-served twin profile status = %d, want 404", resp.StatusCode)
+	}
+	if msg := decodeErrorBody(t, resp); !strings.Contains(msg, "cache") {
+		t.Errorf("twin 404 message %q does not mention the cache caveat", msg)
+	}
+
+	// A job that never opted in has no profile either.
+	plain := submit(`{"game":"doom3","width":320,"height":240,"design":"baseline"}`)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + plain.ID + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		resp.Body.Close()
+		t.Fatalf("unprofiled job profile status = %d, want 404", resp.StatusCode)
+	}
+	decodeErrorBody(t, resp)
+
+	// Unknown job and wrong verb keep the JSON error contract.
+	resp, err = http.Get(ts.URL + "/v1/jobs/job-999999/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		resp.Body.Close()
+		t.Fatalf("unknown job profile status = %d, want 404", resp.StatusCode)
+	}
+	decodeErrorBody(t, resp)
+
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/jobs/"+profiled.ID+"/profile", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		resp.Body.Close()
+		t.Fatalf("PUT profile status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET" {
+		t.Errorf("Allow = %q, want GET", allow)
+	}
+	decodeErrorBody(t, resp)
+}
+
+// TestMetricsRuntimeGauges: every scrape carries refreshed Go-runtime
+// health gauges.
+func TestMetricsRuntimeGauges(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, name := range []string{
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_memstats_heap_alloc_bytes gauge",
+		"# TYPE go_memstats_gc_pause_total_seconds gauge",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("scrape missing %q", name)
+		}
+	}
+}

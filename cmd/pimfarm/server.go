@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,13 @@ type jobRequest struct {
 	// are byte-identical at any value, so it is excluded from the dedup
 	// key — equal jobs differing only in shards collapse.
 	Shards int `json:"shards,omitempty"`
+
+	// Profile opts the job into frame-anatomy capture: when the job
+	// actually simulates (rather than being served from a cache tier or
+	// deduplicated onto an in-flight twin), its pim-render/frameprofile/v1
+	// artifact becomes available at GET /v1/jobs/{id}/profile. Runtime-only
+	// like Shards: excluded from the dedup key and from stored results.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // options converts the request to simulator options.
@@ -83,6 +91,11 @@ type server struct {
 	metrics *telem.Registry
 	pprofOn bool
 	reqSeq  atomic.Uint64
+
+	// profiles holds captured frame-anatomy artifacts keyed by job ID
+	// (jobs submitted with "profile": true that really simulated). Entries
+	// for jobs the farm no longer retains are pruned on each store.
+	profiles sync.Map // string -> *obs.FrameProfile
 }
 
 // newServer builds the API handler (httptest mounts it directly); st may be
@@ -101,6 +114,7 @@ func newServer(f *farm.Farm, st *store.Store) *server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -113,6 +127,7 @@ func newServer(f *farm.Farm, st *store.Store) *server {
 	s.mux.HandleFunc("/v1/jobs", methodNotAllowed("GET, POST"))
 	s.mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET, DELETE"))
 	s.mux.HandleFunc("/v1/jobs/{id}/events", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/jobs/{id}/profile", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/experiments", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/healthz", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/varz", methodNotAllowed("GET"))
@@ -204,12 +219,25 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// (GET /v1/jobs/{id}/events); Progress is runtime-only and does
 			// not affect cache keys or stored results.
 			ropts := opts
-			if j, ok := farm.JobFromContext(runCtx); ok {
+			var fp *obs.FrameProfile
+			j, hasJob := farm.JobFromContext(runCtx)
+			if hasJob {
 				ropts.Progress = func(p core.Progress) { j.Publish("progress", p) }
+			}
+			if req.Profile {
+				// Frame-anatomy capture (GET /v1/jobs/{id}/profile).
+				// Runtime-only, so it is filled only when this job really
+				// simulates: a memory/store hit or a singleflight twin
+				// leaves it empty and the endpoint answers 404.
+				fp = &obs.FrameProfile{}
+				ropts.Profile = fp
 			}
 			res, err := core.RunCachedContext(runCtx, wl, ropts)
 			if err != nil {
 				return nil, err
+			}
+			if fp != nil && hasJob && len(fp.Frames) > 0 {
+				s.storeProfile(j.ID(), fp)
 			}
 			return res, nil
 		},
@@ -298,6 +326,42 @@ func (s *server) writeJob(w http.ResponseWriter, status int, j *farm.Job) {
 	writeJSON(w, status, resp)
 }
 
+// storeProfile records a finished job's frame-anatomy artifact and prunes
+// entries for jobs the farm has since evicted (bounding the map by the
+// farm's own retention policy).
+func (s *server) storeProfile(id string, fp *obs.FrameProfile) {
+	live := map[string]bool{}
+	for _, j := range s.farm.Jobs() {
+		live[j.ID()] = true
+	}
+	s.profiles.Range(func(k, _ any) bool {
+		if !live[k.(string)] {
+			s.profiles.Delete(k)
+		}
+		return true
+	})
+	s.profiles.Store(id, fp)
+}
+
+// handleProfile is GET /v1/jobs/{id}/profile: the job's captured
+// pim-render/frameprofile/v1 artifact. 404 when the job is unknown, was
+// not submitted with "profile": true, is not finished, or was served from
+// a cache tier (profiles exist only for jobs that really simulated).
+func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.farm.Job(id); !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	v, ok := s.profiles.Load(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf(
+			"no profile for job %s (submit with \"profile\": true; profiles are captured only when the job simulates rather than hitting a cache tier)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -362,6 +426,7 @@ func (s *server) latestBWHistograms() map[string][]float64 {
 // text exposition format (farm, store, core-cache, and live simulation
 // instruments all land in the same registry).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	telem.SampleRuntime(s.metrics)
 	s.metrics.Handler().ServeHTTP(w, r)
 }
 

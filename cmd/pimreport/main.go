@@ -1,0 +1,103 @@
+// Command pimreport renders pim-render JSON artifacts into one
+// self-contained HTML report (inline SVG, no scripts or external assets).
+//
+// It accepts any mix of:
+//   - pim-render/frameprofile/v1 files (pimsim -profile-frame out.json),
+//     rendered as bandwidth timelines, supertile heatmaps and stage tables,
+//     with a side-by-side design comparison when two or more are given;
+//   - pim-render/experiments/v1 files (paperbench -json), rendered as
+//     tables.
+//
+// Usage:
+//
+//	pimreport -o report.html baseline.json bpim.json stfim.json atfim.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+func main() {
+	out := flag.String("o", "report.html", "output HTML file (\"-\" for stdout)")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Printf("pimreport %s (%s)\n", obs.Version(), obs.GoVersion())
+		return
+	}
+	if flag.NArg() == 0 {
+		fatal(fmt.Errorf("no input files (frameprofile or experiments JSON)"))
+	}
+
+	var in report.Input
+	for _, path := range flag.Args() {
+		if err := addFile(&in, path); err != nil {
+			fatal(err)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := report.Generate(w, in); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "pimreport: wrote %s (%d profiles, %d experiment sets)\n",
+			*out, len(in.Profiles), len(in.Experiments))
+	}
+}
+
+// addFile sniffs path's schema and appends it to the right input slot.
+func addFile(in *report.Input, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("%s: not a JSON document: %w", path, err)
+	}
+	switch probe.Schema {
+	case obs.FrameProfileSchema:
+		p, err := obs.ReadFrameProfile(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		in.Profiles = append(in.Profiles, p)
+	case obs.ExperimentSchemaVersion:
+		var set obs.ExperimentSet
+		if err := json.Unmarshal(data, &set); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		in.Experiments = append(in.Experiments, &set)
+	default:
+		return fmt.Errorf("%s: unsupported schema %q (want %s or %s)",
+			path, probe.Schema, obs.FrameProfileSchema, obs.ExperimentSchemaVersion)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimreport:", err)
+	os.Exit(1)
+}

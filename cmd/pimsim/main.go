@@ -37,9 +37,12 @@ func main() {
 		compare    = flag.Bool("psnr", false, "also render the baseline and report PSNR against it")
 		jsonOut    = flag.Bool("json", false, "emit the metrics snapshot as JSON instead of text")
 		traceFile  = flag.String("tracefile", "", "write a cycle-timeline trace (Chrome trace-event JSON) to this file")
-		traceCap   = flag.Int("tracecap", 0, "trace ring capacity in events (0 = default)")
+		profFile   = flag.String("profile-frame", "", "write a pim-render/frameprofile/v1 frame-anatomy JSON (bandwidth timelines, per-supertile attribution) to this file")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
+	var traceCap int
+	flag.IntVar(&traceCap, "trace-events", 0, "trace ring capacity in events (0 = default)")
+	flag.IntVar(&traceCap, "tracecap", 0, "alias for -trace-events")
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
@@ -84,12 +87,32 @@ func main() {
 	}
 	var tracer *repro.Tracer
 	if *traceFile != "" {
-		tracer = repro.NewTracer(*traceCap)
+		tracer = repro.NewTracer(traceCap)
 		simOpts = append(simOpts, repro.WithTracer(tracer))
+	}
+	var profile *repro.FrameProfile
+	if *profFile != "" {
+		profile = &repro.FrameProfile{}
+		simOpts = append(simOpts, repro.WithFrameProfile(profile))
 	}
 	res, err := repro.SimulateContext(ctx, wl, simOpts...)
 	if err != nil {
 		fatal(err)
+	}
+
+	if profile != nil {
+		out, err := os.Create(*profFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := profile.WriteJSON(out); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "frame profile   %s (%d frames)\n", *profFile, len(profile.Frames))
 	}
 
 	if tracer != nil {
@@ -105,7 +128,7 @@ func main() {
 			fatal(err)
 		}
 		if d := tracer.Dropped(); d > 0 {
-			fmt.Fprintf(os.Stderr, "pimsim: trace ring wrapped, %d oldest events dropped (raise -tracecap)\n", d)
+			fmt.Fprintf(os.Stderr, "pimsim: trace ring wrapped, %d oldest events dropped (raise -trace-events)\n", d)
 		}
 	}
 

@@ -7,6 +7,7 @@
 //	tracegen -out traces/                 # capture all five games
 //	tracegen -game doom3 -out traces/    # one game
 //	tracegen -verify traces/doom3-640x480.trace
+//	tracegen -verify t.trace -replay -design atfim -tracefile spans.json
 package main
 
 import (
@@ -14,7 +15,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/texture"
 	"repro/internal/trace"
@@ -23,13 +28,19 @@ import (
 
 func main() {
 	var (
-		game    = flag.String("game", "", "game to capture (empty = all)")
-		width   = flag.Int("width", 640, "render width")
-		height  = flag.Int("height", 480, "render height")
-		outDir  = flag.String("out", ".", "output directory")
-		verify  = flag.String("verify", "", "verify an existing trace file and exit")
-		version = flag.Bool("version", false, "print version and exit")
+		game      = flag.String("game", "", "game to capture (empty = all)")
+		width     = flag.Int("width", 640, "render width")
+		height    = flag.Int("height", 480, "render height")
+		outDir    = flag.String("out", ".", "output directory")
+		verify    = flag.String("verify", "", "verify an existing trace file and exit")
+		replay    = flag.Bool("replay", false, "with -verify: replay the trace through the simulator")
+		designStr = flag.String("design", "baseline", "with -replay: design to simulate (baseline, bpim, stfim, atfim)")
+		traceFile = flag.String("tracefile", "", "with -replay: write a cycle-timeline trace (Chrome trace-event JSON) to this file")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
+	var traceCap int
+	flag.IntVar(&traceCap, "trace-events", 0, "trace ring capacity in events (0 = default)")
+	flag.IntVar(&traceCap, "tracecap", 0, "alias for -trace-events")
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
@@ -46,10 +57,13 @@ func main() {
 	}()
 
 	if *verify != "" {
-		if err := verifyTrace(*verify); err != nil {
+		if err := verifyTrace(*verify, *replay, *designStr, *traceFile, traceCap); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *replay {
+		fatal(fmt.Errorf("-replay requires -verify <trace>"))
 	}
 
 	games := workload.GameNames()
@@ -82,7 +96,7 @@ func main() {
 	}
 }
 
-func verifyTrace(path string) error {
+func verifyTrace(path string, replay bool, designStr, traceFile string, traceCap int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -95,7 +109,69 @@ func verifyTrace(path string) error {
 	fmt.Printf("trace %s: %s %dx%d, %d triangles, %d textures, %d cameras\n",
 		path, hdr.Name, hdr.Width, hdr.Height,
 		sc.NumTriangles(), len(sc.Textures), len(sc.Cameras))
+	if !replay {
+		return nil
+	}
+
+	design, err := parseDesign(designStr)
+	if err != nil {
+		return err
+	}
+	sc.AssignTextureAddresses(mem.RegionTexture)
+	// The header names the workload "game-WxH"; reconstruct the identity
+	// the simulator expects (the scene itself comes from the trace, not
+	// from the procedural generator).
+	wl := workload.Workload{
+		Game:   strings.TrimSuffix(hdr.Name, fmt.Sprintf("-%dx%d", hdr.Width, hdr.Height)),
+		Width:  hdr.Width,
+		Height: hdr.Height,
+	}
+	opts := core.Options{Design: design}
+	var tracer *obs.Tracer
+	if traceFile != "" {
+		tracer = obs.NewTracer(traceCap)
+		opts.Trace = tracer
+	}
+	res, err := core.RunScene(sc, wl, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %s on %s: %d cycles, %d fragments\n",
+		wl.Name(), design, res.Cycles(), res.Frame.Activity.FragmentCount)
+	if tracer != nil {
+		out, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("span trace written to %s (%d events)\n", traceFile, tracer.Len())
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr,
+				"tracegen: trace ring wrapped, %d oldest events dropped (raise -trace-events)\n", d)
+		}
+	}
 	return nil
+}
+
+func parseDesign(s string) (config.Design, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "base":
+		return config.Baseline, nil
+	case "bpim", "b-pim":
+		return config.BPIM, nil
+	case "stfim", "s-tfim":
+		return config.STFIM, nil
+	case "atfim", "a-tfim":
+		return config.ATFIM, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q (baseline, bpim, stfim, atfim)", s)
+	}
 }
 
 func fatal(err error) {

@@ -64,6 +64,14 @@ type Options struct {
 	// Trace it is runtime-only: excluded from cache/store keys and never
 	// serialized, and it cannot perturb simulated results.
 	Progress func(Progress) `json:"-"`
+	// Profile, when non-nil, is filled with a pim-render/frameprofile/v1
+	// frame-anatomy artifact after the run: per-meter bandwidth timelines
+	// merged onto the frame timeline, per-supertile-group attribution, and
+	// stage spans. Runtime-only like Trace/Progress: excluded from cache
+	// and store keys, never serialized, and incapable of perturbing
+	// simulated results (it only reads meters the timing model already
+	// populated).
+	Profile *obs.FrameProfile `json:"-"`
 }
 
 // Progress is a point-in-time report of a frame simulation in flight.
@@ -284,6 +292,11 @@ func runScene(ctx context.Context, sc *scene.Scene, wl workload.Workload, cfg co
 		}
 		return wb, wp, internal
 	}
+	var profiler *gpu.FrameProfiler
+	if opts.Profile != nil {
+		profiler = &gpu.FrameProfiler{}
+		pipe.Profiler = profiler
+	}
 	if opts.Trace != nil {
 		pipe.SetTracer(opts.Trace)
 		if ta, ok := backend.(obs.TraceAttacher); ok {
@@ -329,6 +342,21 @@ func runScene(ctx context.Context, sc *scene.Scene, wl workload.Workload, cfg co
 		if cube != nil {
 			res.Activity.InternalBytes += cube.TotalStats().VaultBytes
 		}
+		// Stamp the finished frame's off-chip traffic breakdown into its
+		// anatomy (named like the metrics/v1 traffic counters).
+		if profiler != nil {
+			if frames := profiler.Frames(); len(frames) > 0 {
+				tb := map[string]uint64{}
+				for c := mem.Class(0); c < mem.NumClasses; c++ {
+					for _, k := range []mem.Kind{mem.Read, mem.Write} {
+						if b := res.Traffic.Bytes(c, k); b > 0 {
+							tb[fmt.Sprintf("%s.%s", c, k)] = b
+						}
+					}
+				}
+				frames[len(frames)-1].TrafficBytes = tb
+			}
+		}
 		if acc == nil {
 			acc = res
 		} else {
@@ -339,6 +367,18 @@ func runScene(ctx context.Context, sc *scene.Scene, wl workload.Workload, cfg co
 	model := energy.DefaultModel()
 	model.ClockGHz = cfg.GPU.ClockGHz
 	bd := model.Estimate(acc, cfg.UsesHMC())
+
+	if opts.Profile != nil {
+		build := obs.Build()
+		*opts.Profile = obs.FrameProfile{
+			Schema:     obs.FrameProfileSchema,
+			Workload:   wl.Name(),
+			Design:     cfg.Design.String(),
+			SimVersion: SimVersion,
+			Build:      &build,
+			Frames:     profiler.Frames(),
+		}
+	}
 
 	return &Result{
 		Workload: wl,

@@ -23,6 +23,9 @@ func (r *Result) Metrics() *obs.Snapshot {
 	s.Workload = r.Workload.Name()
 	s.Design = r.Design.String()
 	s.Cycles = r.Frame.Cycles
+	s.SimVersion = SimVersion
+	build := obs.Build()
+	s.Build = &build
 
 	// Traffic by class and direction plus the headline totals.
 	for c := mem.Class(0); c < mem.NumClasses; c++ {

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/obs"
+)
+
+// TestFrameProfileArtifact is the tentpole acceptance criterion: a profiled
+// run emits a valid frameprofile/v1 artifact with at least two meter
+// timelines and per-supertile attribution, stamped with provenance.
+func TestFrameProfileArtifact(t *testing.T) {
+	wl := miniWorkload(t)
+	for _, d := range []config.Design{config.Baseline, config.BPIM} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			var fp obs.FrameProfile
+			res, err := RunContext(context.Background(), wl, Options{Design: d, Profile: &fp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fp.Schema != obs.FrameProfileSchema {
+				t.Fatalf("schema %q, want %q", fp.Schema, obs.FrameProfileSchema)
+			}
+			if fp.Workload != wl.Name() || fp.Design != d.String() {
+				t.Fatalf("identity %q/%q, want %q/%q", fp.Workload, fp.Design, wl.Name(), d)
+			}
+			if fp.SimVersion != SimVersion || fp.Build == nil || fp.Build.GoVersion == "" {
+				t.Fatalf("provenance missing: sim=%q build=%+v", fp.SimVersion, fp.Build)
+			}
+			if len(fp.Frames) != 1 {
+				t.Fatalf("got %d frames, want 1", len(fp.Frames))
+			}
+			f := fp.Frames[0]
+			if f.Cycles != res.Cycles() {
+				t.Fatalf("anatomy cycles %d, result cycles %d", f.Cycles, res.Cycles())
+			}
+			if len(f.Timelines) < 2 {
+				t.Fatalf("got %d meter timelines, want >= 2", len(f.Timelines))
+			}
+			for _, tl := range f.Timelines {
+				if tl.Meter == "" || tl.EndCycle != f.Cycles || len(tl.Bytes) == 0 {
+					t.Fatalf("malformed timeline %+v", tl)
+				}
+			}
+			if len(f.Groups) == 0 {
+				t.Fatal("no supertile groups attributed")
+			}
+			var frags uint64
+			prevEnd := int64(-1)
+			for _, g := range f.Groups {
+				frags += g.Fragments
+				if g.EndCycle < g.StartCycle || g.X < 0 || g.Y < 0 || g.X >= f.Width || g.Y >= f.Height {
+					t.Fatalf("malformed group %+v", g)
+				}
+				if g.StartCycle < prevEnd {
+					t.Fatalf("group spans overlap: %+v starts before %d", g, prevEnd)
+				}
+				prevEnd = g.EndCycle
+			}
+			if frags != res.Frame.Activity.FragmentCount {
+				t.Fatalf("group fragments sum %d, frame total %d", frags, res.Frame.Activity.FragmentCount)
+			}
+			if len(f.Stages) != 4 {
+				t.Fatalf("got %d stages, want 4 (geometry/setup/fragment/resolve)", len(f.Stages))
+			}
+			if len(f.TrafficBytes) == 0 {
+				t.Fatal("traffic breakdown missing")
+			}
+		})
+	}
+}
+
+// TestProfileDoesNotPerturbResults: profiling is observational only — the
+// metrics snapshot and framebuffer of a profiled run are byte-identical to
+// an unprofiled one.
+func TestProfileDoesNotPerturbResults(t *testing.T) {
+	wl := miniWorkload(t)
+	plain, err := RunContext(context.Background(), wl, Options{Design: config.BPIM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fp obs.FrameProfile
+	profiled, err := RunContext(context.Background(), wl, Options{Design: config.BPIM, Profile: &fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := plain.Metrics().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := profiled.Metrics().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("metrics snapshot differs with profiling on")
+	}
+	for i := range plain.Image {
+		if plain.Image[i] != profiled.Image[i] {
+			t.Fatalf("framebuffer diverges at pixel %d", i)
+		}
+	}
+}
+
+// TestProfileDeterministicAcrossShards: the artifact itself — not just the
+// simulated results — is byte-identical at any shard count.
+func TestProfileDeterministicAcrossShards(t *testing.T) {
+	wl := miniWorkload(t)
+	artifact := func(shards int) []byte {
+		var fp obs.FrameProfile
+		if _, err := RunContext(context.Background(), wl,
+			Options{Design: config.ATFIM, Shards: shards, Profile: &fp}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fp.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := artifact(1)
+	for _, shards := range []int{2, 8} {
+		if !bytes.Equal(artifact(shards), serial) {
+			t.Fatalf("shards=%d: profile artifact differs from serial run", shards)
+		}
+	}
+}
+
+// TestProfileExcludedFromCacheKey: Profile is runtime-only, so it must not
+// split the run cache (same key with and without).
+func TestProfileExcludedFromCacheKey(t *testing.T) {
+	wl := miniWorkload(t)
+	var fp obs.FrameProfile
+	with := cacheKey(wl, Options{Design: config.BPIM, Profile: &fp})
+	without := cacheKey(wl, Options{Design: config.BPIM})
+	if with != without {
+		t.Fatalf("cache key differs with profiling: %q vs %q", with, without)
+	}
+}

@@ -110,6 +110,7 @@ func encodeStoredResult(r *Result) (store.Manifest, []byte, error) {
 	opts := r.Options
 	opts.Trace = nil    // runtime-only; not part of the cell's identity
 	opts.Progress = nil // likewise (and func values cannot be serialized)
+	opts.Profile = nil  // likewise
 	frame := *r.Frame
 	frame.Image = nil // packed separately
 	sr := storedResult{

@@ -202,6 +202,18 @@ func (g *GDDR5) UtilizationHistograms(bins int) map[string][]float64 {
 	return out
 }
 
+// BandwidthTimelines implements obs.TimelineSource: per-channel data-bus
+// byte series over time, named exactly like UtilizationHistograms.
+func (g *GDDR5) BandwidthTimelines(buckets int) map[string]obs.Timeline {
+	out := map[string]obs.Timeline{}
+	for i := range g.chans {
+		if t := g.chans[i].bus.Timeline(buckets); !t.Empty() {
+			out[fmt.Sprintf("dram.ch%02d.bus", i)] = t
+		}
+	}
+	return out
+}
+
 // Stats returns a copy of the counters.
 func (g *GDDR5) Stats() Stats { return g.stats }
 

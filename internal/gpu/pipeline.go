@@ -56,6 +56,11 @@ type Pipeline struct {
 	// triple for one worker. The counter may be nil (no internal memory).
 	// When NewWorker is nil the groups run serially on Backend/Path.
 	NewWorker func() (mem.Backend, TexturePath, func() uint64)
+	// Profiler, when set, collects a pim-render/frameprofile/v1 anatomy
+	// for every rendered frame: merged bandwidth timelines, per-supertile
+	// attribution, and stage spans. Like Progress it only reads values the
+	// timing model already produced and never changes simulated results.
+	Profiler *FrameProfiler
 
 	fb      *Framebuffer
 	rast    *raster.Rasterizer
@@ -144,6 +149,10 @@ func (p *Pipeline) RenderFrameContext(ctx context.Context, s *scene.Scene, frame
 	ld := view.MulVec(vmath.Vec4{X: s.LightDir.X, Y: s.LightDir.Y, Z: s.LightDir.Z, W: 0})
 	p.fs = shader.NewFragmentProgram(shader.Vec{ld.X, ld.Y, ld.Z, 0}, s.Ambient)
 
+	if p.Profiler != nil {
+		p.Profiler.beginFrame()
+	}
+
 	// --- Geometry stage (serial, frame-level backend) ---
 	p.report(Progress{Frame: frame, Stage: StageGeometry})
 	geomDone := p.runGeometry(s, view)
@@ -153,6 +162,14 @@ func (p *Pipeline) RenderFrameContext(ctx context.Context, s *scene.Scene, frame
 	p.report(Progress{Frame: frame, Stage: StageSetup, Cycles: geomDone})
 	setupCycles, sts, groups := p.binTriangles(s, verts)
 	fragBase := geomDone + setupCycles
+
+	// Serial fallback runs the groups on the frame-level backend, which
+	// resetForGroup wipes — capture the geometry-stage timelines before
+	// they disappear. (With a worker factory the frame backend survives
+	// untouched until resolve, so one capture at frame end covers it.)
+	if p.Profiler != nil && p.NewWorker == nil {
+		p.Profiler.addSource(0, captureBackend(p.Backend, p.Profiler.bucketCount()))
+	}
 
 	// --- Fragment stage: hermetic tile groups, fork/join ---
 	p.report(Progress{Frame: frame, Stage: StageFragment, GroupsTotal: len(groups), Cycles: fragBase})
@@ -179,6 +196,7 @@ func (p *Pipeline) RenderFrameContext(ctx context.Context, s *scene.Scene, frame
 
 	// --- Deterministic merge in fixed group order ---
 	tracing := p.trace.On()
+	profiling := p.Profiler != nil
 	frameCaches := map[string]cache.Stats{}
 	offset := fragBase
 	for gi := range results {
@@ -212,6 +230,20 @@ func (p *Pipeline) RenderFrameContext(ctx context.Context, s *scene.Scene, frame
 			p.trace.SpanArg("groups", fmt.Sprintf("group %d", gi), offset, offset+gr.duration,
 				"fragments", int64(gr.activity.FragmentCount))
 		}
+		if profiling {
+			p.Profiler.addGroup(obs.GroupProfile{
+				Index:        gi,
+				X:            groups[gi].x0,
+				Y:            groups[gi].y0,
+				StartCycle:   offset,
+				EndCycle:     offset + gr.duration,
+				Fragments:    gr.activity.FragmentCount,
+				TexRequests:  gr.activity.Path.TexRequests,
+				TexelFetches: gr.activity.Path.GPUTexelFetches + gr.activity.Path.PIMTexelFetches,
+				OffChipBytes: gr.traffic.Total(),
+			})
+			p.Profiler.addSource(offset, gr.timelines)
+		}
 		offset += gr.duration
 	}
 	endCompute := offset
@@ -230,6 +262,18 @@ func (p *Pipeline) RenderFrameContext(ctx context.Context, s *scene.Scene, frame
 		p.trace.Span("pipeline", "resolve", endCompute, resolveDone)
 		p.trace.SpanArg("frame", fmt.Sprintf("frame %d", frame), 0, total,
 			"fragments", int64(p.activity.FragmentCount))
+	}
+	if profiling {
+		// The frame-level backend's meters are already in absolute frame
+		// time: geometry traffic at its true cycles (factory mode) or just
+		// resolve traffic (serial fallback, where geometry was captured
+		// before the groups wiped the backend).
+		p.Profiler.addSource(0, captureBackend(p.Backend, p.Profiler.bucketCount()))
+		p.Profiler.addStage("geometry", 0, geomDone)
+		p.Profiler.addStage("setup", geomDone, fragBase)
+		p.Profiler.addStage("fragment", fragBase, endCompute)
+		p.Profiler.addStage("resolve", endCompute, total)
+		p.Profiler.endFrame(frame, p.fb.W, p.fb.H, total)
 	}
 
 	res := &FrameResult{

@@ -1,0 +1,114 @@
+package gpu
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// profileGroupBuckets is the per-group meter-timeline resolution captured
+// by shard workers. Group-local timelines are resampled onto the frame
+// timeline at merge, so this only bounds the capture granularity inside
+// one group's span.
+const profileGroupBuckets = 64
+
+// FrameProfiler assembles pim-render/frameprofile/v1 frame anatomies while
+// a pipeline renders. The profiler is fed exclusively from the pipeline's
+// serial sections (stage boundaries and the deterministic merge loop);
+// shard workers capture their group-local meter timelines into the
+// groupResult instead, so profiling needs no locking and the artifact is
+// byte-identical at any shard count. Attach one via Pipeline.Profiler;
+// like tracing, it only reads values the timing model already produced
+// and can never perturb simulated results.
+type FrameProfiler struct {
+	// Buckets is the frame-timeline resolution (<= 0 selects
+	// obs.DefaultTimelineBuckets).
+	Buckets int
+
+	frames []obs.FrameAnatomy
+
+	// Per-frame scratch, reset by beginFrame.
+	sources []obs.PlacedTimeline
+	groups  []obs.GroupProfile
+	stages  []obs.StageSpan
+}
+
+// Frames returns the anatomies of every frame completed so far, in render
+// order.
+func (fp *FrameProfiler) Frames() []obs.FrameAnatomy {
+	if fp == nil {
+		return nil
+	}
+	return fp.frames
+}
+
+// bucketCount resolves the configured frame-timeline resolution.
+func (fp *FrameProfiler) bucketCount() int {
+	if fp.Buckets > 0 {
+		return fp.Buckets
+	}
+	return obs.DefaultTimelineBuckets
+}
+
+// beginFrame clears the per-frame scratch.
+func (fp *FrameProfiler) beginFrame() {
+	fp.sources = fp.sources[:0]
+	fp.groups = fp.groups[:0]
+	fp.stages = fp.stages[:0]
+}
+
+// addSource places a backend's meter timelines at offset on the frame
+// timeline. Meter names are iterated sorted, so the float accumulation
+// order in the final merge — and therefore the artifact — is
+// deterministic.
+func (fp *FrameProfiler) addSource(offset int64, timelines map[string]obs.Timeline) {
+	if len(timelines) == 0 {
+		return
+	}
+	names := make([]string, 0, len(timelines))
+	for name := range timelines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fp.sources = append(fp.sources, obs.PlacedTimeline{
+			Meter: name, Offset: offset, Timeline: timelines[name],
+		})
+	}
+}
+
+// addGroup records one merged supertile group's attribution.
+func (fp *FrameProfiler) addGroup(g obs.GroupProfile) {
+	fp.groups = append(fp.groups, g)
+}
+
+// addStage records one pipeline stage span.
+func (fp *FrameProfiler) addStage(name string, start, end int64) {
+	fp.stages = append(fp.stages, obs.StageSpan{Name: name, Start: start, End: end})
+}
+
+// endFrame merges the collected sources onto the frame timeline and
+// appends the finished anatomy.
+func (fp *FrameProfiler) endFrame(frame, width, height int, total int64) {
+	buckets := fp.bucketCount()
+	a := obs.FrameAnatomy{
+		Frame:     frame,
+		Width:     width,
+		Height:    height,
+		Cycles:    total,
+		GroupPx:   groupPx,
+		Stages:    append([]obs.StageSpan(nil), fp.stages...),
+		Timelines: obs.MergeTimelines(fp.sources, total, buckets),
+		Groups:    append([]obs.GroupProfile(nil), fp.groups...),
+	}
+	fp.frames = append(fp.frames, a)
+}
+
+// captureBackend reads a backend's meter timelines, when it has any.
+func captureBackend(backend any, buckets int) map[string]obs.Timeline {
+	ts, ok := backend.(obs.TimelineSource)
+	if !ok {
+		return nil
+	}
+	return ts.BandwidthTimelines(buckets)
+}

@@ -39,6 +39,13 @@ type workItem struct {
 	tile raster.Tile
 }
 
+// tileGroup is one supertile group's work list plus its pixel origin on
+// screen (the identity per-group attribution profiles key heatmaps by).
+type tileGroup struct {
+	x0, y0 int
+	items  []workItem
+}
+
 // groupResult captures one hermetically simulated tile group: the group's
 // duration on the frame's fragment timeline, and every counter it
 // accumulated from local time zero.
@@ -49,6 +56,10 @@ type groupResult struct {
 	raster   raster.Stats
 	caches   map[string]cache.Stats
 	events   []obs.Event
+	// timelines holds the worker backend's group-local bandwidth
+	// timelines when the frame is being profiled; the merge rebases them
+	// onto the frame timeline at the group's offset.
+	timelines map[string]obs.Timeline
 }
 
 // trafficSource matches texture paths that account their own memory
@@ -224,6 +235,12 @@ func (w *shardWorker) runGroup(items []workItem, sts []raster.SetupTriangle) gro
 	if tracing {
 		gr.events = w.trace.Events()
 	}
+	// Profiling: capture the backend's group-local bandwidth timelines
+	// before the next group resets the worker. Reading meters never
+	// mutates them, so profiled and unprofiled runs stay byte-identical.
+	if w.p.Profiler != nil {
+		gr.timelines = captureBackend(w.backend, profileGroupBuckets)
+	}
 	return gr
 }
 
@@ -379,7 +396,7 @@ func (w *shardWorker) flushROPCaches(now int64) int64 {
 // order within each group. It returns the setup stage's cycle cost, the
 // shared read-only setup-triangle table, and the non-empty groups in fixed
 // screen order.
-func (p *Pipeline) binTriangles(s *scene.Scene, verts []raster.Vertex) (int64, []raster.SetupTriangle, [][]workItem) {
+func (p *Pipeline) binTriangles(s *scene.Scene, verts []raster.Vertex) (int64, []raster.SetupTriangle, []tileGroup) {
 	clusters := p.Cfg.GPU.Clusters
 	setupCycles := int64(math.Ceil(float64(len(s.Mesh.Triangles)*triSetupCycles) / float64(clusters*clusters)))
 
@@ -398,10 +415,14 @@ func (p *Pipeline) binTriangles(s *scene.Scene, verts []raster.Vertex) (int64, [
 			}
 		}
 	}
-	groups := make([][]workItem, 0, len(bins))
-	for _, b := range bins {
+	groups := make([]tileGroup, 0, len(bins))
+	for g, b := range bins {
 		if len(b) > 0 {
-			groups = append(groups, b)
+			groups = append(groups, tileGroup{
+				x0:    (g % groupsX) * groupPx,
+				y0:    (g / groupsX) * groupPx,
+				items: b,
+			})
 		}
 	}
 	return setupCycles, sts, groups
@@ -412,7 +433,7 @@ func (p *Pipeline) binTriangles(s *scene.Scene, verts []raster.Vertex) (int64, [
 // observed at group boundaries. onGroup, when non-nil, is called with
 // each group's duration as it completes (from worker goroutines in the
 // parallel path); it must not touch simulator state.
-func (p *Pipeline) runGroups(ctx context.Context, sts []raster.SetupTriangle, groups [][]workItem, onGroup func(int64)) ([]groupResult, error) {
+func (p *Pipeline) runGroups(ctx context.Context, sts []raster.SetupTriangle, groups []tileGroup, onGroup func(int64)) ([]groupResult, error) {
 	results := make([]groupResult, len(groups))
 	if len(groups) == 0 {
 		return results, ctx.Err()
@@ -428,7 +449,7 @@ func (p *Pipeline) runGroups(ctx context.Context, sts []raster.SetupTriangle, gr
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			results[g] = w.runGroup(groups[g], sts)
+			results[g] = w.runGroup(groups[g].items, sts)
 			if onGroup != nil {
 				onGroup(results[g].duration)
 			}
@@ -464,7 +485,7 @@ func (p *Pipeline) runGroups(ctx context.Context, sts []raster.SetupTriangle, gr
 				if g >= len(groups) {
 					return
 				}
-				results[g] = w.runGroup(groups[g], sts)
+				results[g] = w.runGroup(groups[g].items, sts)
 				if onGroup != nil {
 					onGroup(results[g].duration)
 				}

@@ -90,6 +90,21 @@ func (a *Array) UtilizationHistograms(bins int) map[string][]float64 {
 	return out
 }
 
+// BandwidthTimelines implements obs.TimelineSource across all cubes.
+func (a *Array) BandwidthTimelines(buckets int) map[string]obs.Timeline {
+	out := map[string]obs.Timeline{}
+	for i, c := range a.cubes {
+		prefix := fmt.Sprintf("cube%d.", i)
+		for name, t := range c.BandwidthTimelines(buckets) {
+			if c.tracePrefix == "" {
+				name = prefix + name
+			}
+			out[name] = t
+		}
+	}
+	return out
+}
+
 func (a *Array) route(addr uint64) *HMC {
 	return a.cubes[(addr>>arrayGranularityBits)%uint64(len(a.cubes))]
 }

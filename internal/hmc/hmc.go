@@ -239,6 +239,24 @@ func (h *HMC) UtilizationHistograms(bins int) map[string][]float64 {
 	return out
 }
 
+// BandwidthTimelines implements obs.TimelineSource: link and per-vault
+// TSV byte series over time, named exactly like UtilizationHistograms.
+func (h *HMC) BandwidthTimelines(buckets int) map[string]obs.Timeline {
+	out := map[string]obs.Timeline{}
+	if t := h.linkTx.Timeline(buckets); !t.Empty() {
+		out[h.tracePrefix+"hmc.link.tx"] = t
+	}
+	if t := h.linkRx.Timeline(buckets); !t.Empty() {
+		out[h.tracePrefix+"hmc.link.rx"] = t
+	}
+	for i := range h.vaults {
+		if t := h.vaults[i].tsv.Timeline(buckets); !t.Empty() {
+			out[fmt.Sprintf("%shmc.vault%02d.tsv", h.tracePrefix, i)] = t
+		}
+	}
+	return out
+}
+
 // Stats returns a copy of the counters.
 func (h *HMC) Stats() Stats { return h.stats }
 

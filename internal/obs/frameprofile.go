@@ -1,0 +1,296 @@
+package obs
+
+// Frame-anatomy profiling schema (pim-render/frameprofile/v1): the
+// deep-inspection counterpart to the end-of-run Snapshot. Where metrics/v1
+// collapses a run to scalars and coarse histograms, a FrameProfile keeps
+// the inside of each frame: cycle-resolved bandwidth timelines per metered
+// resource, the pipeline's stage spans, and per-supertile-group
+// attribution (cycles, fragments, texel requests, off-chip bytes per
+// 64x64-pixel group). cmd/pimreport renders one or more of these into a
+// self-contained HTML report.
+//
+// Like tracing, profiling is observational only: every number in the
+// artifact is derived from values the timing model already produced, so
+// simulated results are byte-identical with and without a profile
+// attached, and the artifact itself is deterministic at any shard count.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// FrameProfileSchema identifies the FrameProfile JSON schema. Bump only on
+// incompatible changes; additions of new fields are compatible (consumers
+// must tolerate unknown fields).
+const FrameProfileSchema = "pim-render/frameprofile/v1"
+
+// DefaultTimelineBuckets is the frame-timeline resolution used when a
+// profiler is not configured with an explicit bucket count.
+const DefaultTimelineBuckets = 192
+
+// BuildInfo is the provenance stamp carried by metrics/v1 and
+// frameprofile/v1 payloads: which binary produced the document.
+type BuildInfo struct {
+	// Version is the module version ("devel" for plain builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain the binary was built with.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS revision, when the build recorded one.
+	Revision string `json:"revision,omitempty"`
+}
+
+// Build returns the running binary's provenance stamp.
+func Build() BuildInfo {
+	return BuildInfo{
+		Version:   Version(),
+		GoVersion: GoVersion(),
+		Revision:  BuildRevision(),
+	}
+}
+
+// Timeline is a cycle-resolved byte series for one metered resource: the
+// span [0, EndCycle) divided into len(Bytes) equal buckets, each holding
+// the bytes the resource moved in that bucket. BytesPerCycle is the
+// resource's capacity, so bucket utilization is
+// Bytes[i] / (BucketCycles() * BytesPerCycle).
+type Timeline struct {
+	// Meter names the resource ("hmc.link.tx", "dram.ch00.bus", ...).
+	Meter string `json:"meter,omitempty"`
+	// BytesPerCycle is the resource's peak capacity.
+	BytesPerCycle float64 `json:"bytes_per_cycle"`
+	// EndCycle is the end of the covered span (start is cycle 0).
+	EndCycle int64 `json:"end_cycle"`
+	// Bytes holds the bytes moved per bucket.
+	Bytes []float64 `json:"bytes"`
+}
+
+// Empty reports whether the timeline carries no data.
+func (t *Timeline) Empty() bool { return len(t.Bytes) == 0 }
+
+// BucketCycles returns the width of one bucket in cycles.
+func (t *Timeline) BucketCycles() float64 {
+	if len(t.Bytes) == 0 {
+		return 0
+	}
+	return float64(t.EndCycle) / float64(len(t.Bytes))
+}
+
+// Utilization returns the per-bucket used/capacity fractions, clamped to
+// [0, 1].
+func (t *Timeline) Utilization() []float64 {
+	w := t.BucketCycles()
+	if w <= 0 || t.BytesPerCycle <= 0 {
+		return nil
+	}
+	capPerBucket := w * t.BytesPerCycle
+	out := make([]float64, len(t.Bytes))
+	for i, b := range t.Bytes {
+		u := b / capPerBucket
+		if u > 1 {
+			u = 1
+		}
+		if u < 0 || math.IsNaN(u) {
+			u = 0
+		}
+		out[i] = u
+	}
+	return out
+}
+
+// TotalBytes sums the timeline's buckets.
+func (t *Timeline) TotalBytes() float64 {
+	var sum float64
+	for _, b := range t.Bytes {
+		sum += b
+	}
+	return sum
+}
+
+// TimelineSource is implemented by memory backends that can report their
+// bandwidth meters as cycle-resolved timelines (see sim.BandwidthMeter).
+type TimelineSource interface {
+	BandwidthTimelines(buckets int) map[string]Timeline
+}
+
+// PlacedTimeline positions a locally-timed timeline on a frame timeline:
+// the source's cycle 0 lands at Offset. Hermetic tile groups are simulated
+// from local cycle zero and occupy disjoint spans of the frame's fragment
+// stage, so placing each group's meter timelines at its merge offset
+// reconstructs the frame-wide bandwidth profile.
+type PlacedTimeline struct {
+	Meter    string
+	Offset   int64
+	Timeline Timeline
+}
+
+// MergeTimelines resamples the placed source timelines onto `buckets`
+// equal buckets spanning [0, total) and returns one merged timeline per
+// meter name, sorted by name. Source bytes are distributed across
+// destination buckets proportionally to cycle overlap; sources sharing a
+// meter name accumulate (disjoint group spans never double-count). The
+// result is deterministic for a deterministic source order.
+func MergeTimelines(sources []PlacedTimeline, total int64, buckets int) []Timeline {
+	if total <= 0 || buckets <= 0 {
+		return nil
+	}
+	merged := map[string]*Timeline{}
+	destW := float64(total) / float64(buckets)
+	for _, s := range sources {
+		src := s.Timeline
+		if src.Empty() {
+			continue
+		}
+		name := s.Meter
+		if name == "" {
+			name = src.Meter
+		}
+		dst, ok := merged[name]
+		if !ok {
+			dst = &Timeline{Meter: name, EndCycle: total, Bytes: make([]float64, buckets)}
+			merged[name] = dst
+		}
+		if src.BytesPerCycle > dst.BytesPerCycle {
+			dst.BytesPerCycle = src.BytesPerCycle
+		}
+		srcW := src.BucketCycles()
+		if srcW <= 0 {
+			continue
+		}
+		for i, b := range src.Bytes {
+			if b == 0 {
+				continue
+			}
+			// Source bucket i covers [lo, hi) on the frame timeline.
+			lo := float64(s.Offset) + float64(i)*srcW
+			hi := lo + srcW
+			if hi <= 0 || lo >= float64(total) {
+				continue
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > float64(total) {
+				hi = float64(total)
+			}
+			first := int(lo / destW)
+			last := int(hi / destW)
+			if last >= buckets {
+				last = buckets - 1
+			}
+			for d := first; d <= last; d++ {
+				dLo := float64(d) * destW
+				dHi := dLo + destW
+				overlap := math.Min(hi, dHi) - math.Max(lo, dLo)
+				if overlap <= 0 {
+					continue
+				}
+				dst.Bytes[d] += b * overlap / srcW
+			}
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Timeline, 0, len(names))
+	for _, name := range names {
+		out = append(out, *merged[name])
+	}
+	return out
+}
+
+// StageSpan is one pipeline stage's [Start, End) span on the frame
+// timeline.
+type StageSpan struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// GroupProfile is the attribution record of one hermetic supertile group:
+// where it sits on screen, where its simulation landed on the frame's
+// fragment timeline, and what it consumed. Groups are the 64x64-pixel
+// units of the sharded fragment stage; their spans tile the fragment
+// stage contiguously in fixed screen order.
+type GroupProfile struct {
+	// Index is the group's position in the frame's fixed group list.
+	Index int `json:"index"`
+	// X, Y are the group's pixel origin on screen.
+	X int `json:"x"`
+	Y int `json:"y"`
+	// StartCycle/EndCycle are the group's span on the frame timeline.
+	StartCycle int64 `json:"start_cycle"`
+	EndCycle   int64 `json:"end_cycle"`
+	// Fragments is the number of fragments shaded in the group.
+	Fragments uint64 `json:"fragments"`
+	// TexRequests is the number of texture requests the group issued.
+	TexRequests uint64 `json:"tex_requests"`
+	// TexelFetches is the number of texels fetched for the group's
+	// requests, on either side of the memory boundary (GPU + PIM).
+	TexelFetches uint64 `json:"texel_fetches"`
+	// OffChipBytes is the group's GPU<->memory traffic in bytes.
+	OffChipBytes uint64 `json:"offchip_bytes"`
+}
+
+// Cycles returns the group's duration on the frame timeline.
+func (g *GroupProfile) Cycles() int64 { return g.EndCycle - g.StartCycle }
+
+// FrameAnatomy is one rendered frame's deep profile.
+type FrameAnatomy struct {
+	// Frame is the camera/frame index that was rendered.
+	Frame int `json:"frame"`
+	// Width, Height are the render-target dimensions.
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// Cycles is the frame's total simulated duration.
+	Cycles int64 `json:"cycles"`
+	// GroupPx is the supertile edge in pixels (the heatmap cell size).
+	GroupPx int `json:"group_px"`
+	// Stages are the pipeline stage spans on the frame timeline.
+	Stages []StageSpan `json:"stages,omitempty"`
+	// Timelines are the merged per-meter bandwidth series.
+	Timelines []Timeline `json:"timelines,omitempty"`
+	// Groups is the per-supertile-group attribution in fixed screen order.
+	Groups []GroupProfile `json:"groups,omitempty"`
+	// TrafficBytes breaks the frame's off-chip traffic down by
+	// "<class>.<direction>" (the metrics/v1 naming).
+	TrafficBytes map[string]uint64 `json:"traffic_bytes,omitempty"`
+}
+
+// FrameProfile is the top-level pim-render/frameprofile/v1 artifact.
+type FrameProfile struct {
+	// Schema is always FrameProfileSchema.
+	Schema string `json:"schema"`
+	// Workload and Design identify the configuration.
+	Workload string `json:"workload,omitempty"`
+	Design   string `json:"design,omitempty"`
+	// SimVersion is the simulator behavioral revision (core.SimVersion).
+	SimVersion string `json:"sim_version,omitempty"`
+	// Build stamps the producing binary.
+	Build *BuildInfo `json:"build,omitempty"`
+	// Frames holds one anatomy per rendered frame.
+	Frames []FrameAnatomy `json:"frames"`
+}
+
+// WriteJSON writes the profile as indented JSON.
+func (p *FrameProfile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadFrameProfile decodes and validates a frameprofile/v1 document.
+func ReadFrameProfile(r io.Reader) (*FrameProfile, error) {
+	var p FrameProfile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("obs: frame profile: %w", err)
+	}
+	if p.Schema != FrameProfileSchema {
+		return nil, fmt.Errorf("obs: frame profile schema %q (want %q)", p.Schema, FrameProfileSchema)
+	}
+	return &p, nil
+}

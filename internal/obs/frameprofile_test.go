@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleProfile() *FrameProfile {
+	b := Build()
+	return &FrameProfile{
+		Schema:     FrameProfileSchema,
+		Workload:   "doom3-320x240",
+		Design:     "B-PIM",
+		SimVersion: "2",
+		Build:      &b,
+		Frames: []FrameAnatomy{{
+			Frame: 7, Width: 320, Height: 240, Cycles: 1000, GroupPx: 64,
+			Stages: []StageSpan{{Name: "geometry", Start: 0, End: 100}},
+			Timelines: []Timeline{{
+				Meter: "hmc.link.tx", BytesPerCycle: 8, EndCycle: 1000,
+				Bytes: []float64{10, 0, 30, 2},
+			}},
+			Groups: []GroupProfile{{
+				Index: 0, X: 64, Y: 128, StartCycle: 100, EndCycle: 400,
+				Fragments: 9, TexRequests: 27, TexelFetches: 81, OffChipBytes: 640,
+			}},
+			TrafficBytes: map[string]uint64{"texture.read": 512, "z-test.write": 128},
+		}},
+	}
+}
+
+func TestFrameProfileRoundTrip(t *testing.T) {
+	p := sampleProfile()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrameProfile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, p)
+	}
+}
+
+func TestReadFrameProfileRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadFrameProfile(strings.NewReader(`{"schema":"pim-render/metrics/v1"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ReadFrameProfile(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestTimelineUtilizationClamps(t *testing.T) {
+	tl := Timeline{BytesPerCycle: 2, EndCycle: 10, Bytes: []float64{100, 0}}
+	u := tl.Utilization()
+	if u[0] != 1 {
+		t.Fatalf("over-capacity bucket utilization %v, want clamped 1", u[0])
+	}
+	if u[1] != 0 {
+		t.Fatalf("idle bucket utilization %v, want 0", u[1])
+	}
+	empty := Timeline{}
+	if empty.Utilization() != nil {
+		t.Fatal("empty timeline must have nil utilization")
+	}
+}
+
+func TestMergeTimelinesPlacesOffsets(t *testing.T) {
+	// One source covering [0,100) with all bytes in its single bucket,
+	// placed at offset 900 of a 1000-cycle frame: the bytes must land in
+	// the last tenth of the merged timeline.
+	src := Timeline{BytesPerCycle: 4, EndCycle: 100, Bytes: []float64{40}}
+	merged := MergeTimelines([]PlacedTimeline{{Meter: "m", Offset: 900, Timeline: src}}, 1000, 10)
+	if len(merged) != 1 {
+		t.Fatalf("got %d meters, want 1", len(merged))
+	}
+	m := merged[0]
+	for i := 0; i < 9; i++ {
+		if m.Bytes[i] != 0 {
+			t.Fatalf("bucket %d = %v, want 0 (source placed at 900)", i, m.Bytes[i])
+		}
+	}
+	if math.Abs(m.Bytes[9]-40) > 1e-9 {
+		t.Fatalf("last bucket = %v, want 40", m.Bytes[9])
+	}
+}
+
+func TestMergeTimelinesAccumulatesSameMeter(t *testing.T) {
+	// Two disjoint group spans on the same meter must sum without loss.
+	a := Timeline{BytesPerCycle: 4, EndCycle: 100, Bytes: []float64{10, 20}}
+	b := Timeline{BytesPerCycle: 4, EndCycle: 100, Bytes: []float64{5, 5}}
+	merged := MergeTimelines([]PlacedTimeline{
+		{Meter: "m", Offset: 0, Timeline: a},
+		{Meter: "m", Offset: 100, Timeline: b},
+	}, 200, 4)
+	if len(merged) != 1 {
+		t.Fatalf("got %d meters, want 1", len(merged))
+	}
+	var sum float64
+	for _, v := range merged[0].Bytes {
+		sum += v
+	}
+	if math.Abs(sum-40) > 1e-9 {
+		t.Fatalf("merged total %v bytes, want 40", sum)
+	}
+	// First half holds a's 30, second half b's 10.
+	firstHalf := merged[0].Bytes[0] + merged[0].Bytes[1]
+	if math.Abs(firstHalf-30) > 1e-9 {
+		t.Fatalf("first half %v, want 30", firstHalf)
+	}
+}
+
+func TestMergeTimelinesSortsAndClips(t *testing.T) {
+	mk := func(name string) PlacedTimeline {
+		return PlacedTimeline{Meter: name, Timeline: Timeline{
+			BytesPerCycle: 1, EndCycle: 10, Bytes: []float64{1},
+		}}
+	}
+	merged := MergeTimelines([]PlacedTimeline{mk("zz"), mk("aa")}, 10, 2)
+	if merged[0].Meter != "aa" || merged[1].Meter != "zz" {
+		t.Fatalf("meters not sorted: %s, %s", merged[0].Meter, merged[1].Meter)
+	}
+	// A source overhanging the frame end is clipped, not wrapped.
+	over := PlacedTimeline{Meter: "m", Offset: 5, Timeline: Timeline{
+		BytesPerCycle: 1, EndCycle: 10, Bytes: []float64{10},
+	}}
+	clipped := MergeTimelines([]PlacedTimeline{over}, 10, 2)
+	if got := clipped[0].Bytes[0]; got != 0 {
+		t.Fatalf("first half %v, want 0", got)
+	}
+	if got := clipped[0].Bytes[1]; math.Abs(got-5) > 1e-9 {
+		t.Fatalf("second half %v, want 5 (half the source span clipped)", got)
+	}
+	if MergeTimelines(nil, 0, 4) != nil || MergeTimelines(nil, 10, 0) != nil {
+		t.Fatal("degenerate merges must return nil")
+	}
+}

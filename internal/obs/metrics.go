@@ -30,6 +30,11 @@ type Snapshot struct {
 	// Workload and Design identify the configuration, when applicable.
 	Workload string `json:"workload,omitempty"`
 	Design   string `json:"design,omitempty"`
+	// SimVersion is the simulator behavioral revision that produced the
+	// snapshot (core.SimVersion) and Build the producing binary; both are
+	// provenance stamps, absent in documents from older producers.
+	SimVersion string     `json:"sim_version,omitempty"`
+	Build      *BuildInfo `json:"build,omitempty"`
 	// Cycles is the run's total simulated GPU cycles.
 	Cycles int64 `json:"cycles,omitempty"`
 	// Counters holds monotonically accumulated event counts.

@@ -1,0 +1,27 @@
+package telem
+
+import "runtime"
+
+// SampleRuntime refreshes the registry's Go-runtime health gauges:
+// goroutine count, heap allocation/footprint and cumulative GC pause time.
+// Call it just before serving a scrape so /metrics always reports a fresh
+// point-in-time view of the process. Nil-safe (a nil registry samples
+// nothing), and cheap enough for per-scrape use: runtime.ReadMemStats is
+// the only stop-the-world cost.
+func SampleRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("go_goroutines", "Number of live goroutines.", nil).
+		Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", nil).
+		Set(float64(ms.HeapAlloc))
+	r.Gauge("go_memstats_heap_sys_bytes", "Bytes of heap obtained from the OS.", nil).
+		Set(float64(ms.HeapSys))
+	r.Gauge("go_memstats_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.", nil).
+		Set(float64(ms.PauseTotalNs) / 1e9)
+	r.Gauge("go_memstats_gc_total", "Number of completed GC cycles.", nil).
+		Set(float64(ms.NumGC))
+}

@@ -1,0 +1,51 @@
+package telem
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSampleRuntime: the Go health gauges appear in the exposition with
+// sane values after a sample, and refresh on the next one.
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, name := range []string{
+		"go_goroutines",
+		"go_memstats_heap_alloc_bytes",
+		"go_memstats_heap_sys_bytes",
+		"go_memstats_gc_pause_total_seconds",
+		"go_memstats_gc_total",
+	} {
+		if !strings.Contains(text, "# TYPE "+name+" gauge") {
+			t.Errorf("exposition missing gauge %q", name)
+		}
+	}
+
+	if g := r.Gauge("go_goroutines", "", nil).Value(); g < 1 {
+		t.Errorf("go_goroutines = %g, want >= 1", g)
+	}
+	if h := r.Gauge("go_memstats_heap_alloc_bytes", "", nil).Value(); h <= 0 {
+		t.Errorf("heap_alloc = %g, want > 0", h)
+	}
+
+	// A second sample must refresh in place, not add series.
+	SampleRuntime(r)
+	var sb2 strings.Builder
+	if _, err := r.WriteTo(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if c, c2 := strings.Count(text, "\ngo_goroutines "), strings.Count(sb2.String(), "\ngo_goroutines "); c != 1 || c2 != 1 {
+		t.Errorf("go_goroutines sample lines: first scrape %d, second %d, want 1 each", c, c2)
+	}
+}
+
+func TestSampleRuntimeNilRegistry(t *testing.T) {
+	SampleRuntime(nil) // must not panic
+}

@@ -1,0 +1,300 @@
+// Package report renders pim-render frame-anatomy profiles and experiment
+// sets into a single self-contained HTML report: bandwidth timelines with
+// pipeline-stage bands, per-supertile heatmaps, and side-by-side design
+// comparisons. The output embeds every chart as inline SVG and carries no
+// JavaScript, external images, fonts or stylesheets — one file that opens
+// anywhere and can be archived next to the JSON artifacts it was built
+// from.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Input is everything a report can include.
+type Input struct {
+	// Profiles are frameprofile/v1 artifacts; with two or more the report
+	// opens with a side-by-side comparison (Baseline vs B-PIM vs S-TFIM
+	// vs A-TFIM sweeps are the expected shape).
+	Profiles []*obs.FrameProfile
+	// Experiments are experiments/v1 documents (paperbench -json output),
+	// rendered as tables after the profiles.
+	Experiments []*obs.ExperimentSet
+}
+
+const style = `body{font-family:sans-serif;margin:24px auto;max-width:900px;color:#222}
+h1{font-size:22px}h2{font-size:17px;border-bottom:1px solid #ddd;padding-bottom:4px;margin-top:32px}
+h3{font-size:14px;margin-bottom:6px}
+table{border-collapse:collapse;font-size:12px;margin:8px 0}
+td,th{border:1px solid #ccc;padding:3px 8px;text-align:right}
+th{background:#f2f2f2}td:first-child,th:first-child{text-align:left}
+.meta{color:#666;font-size:12px}
+.row{display:flex;flex-wrap:wrap;gap:12px;align-items:flex-start}`
+
+// Generate writes the report for in to w.
+func Generate(w io.Writer, in Input) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n<style>%s</style>\n</head><body>\n", esc(reportTitle(in)), style)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(reportTitle(in)))
+	fmt.Fprintf(&b, `<p class="meta">pimreport %s (%s) &#183; %d profile(s), %d experiment set(s)</p>`+"\n",
+		esc(obs.Version()), esc(obs.GoVersion()), len(in.Profiles), len(in.Experiments))
+
+	if len(in.Profiles) > 1 {
+		writeComparison(&b, in.Profiles)
+	}
+	for _, p := range in.Profiles {
+		writeProfile(&b, p)
+	}
+	for _, set := range in.Experiments {
+		writeExperimentSet(&b, set)
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func reportTitle(in Input) string {
+	if len(in.Profiles) == 1 {
+		p := in.Profiles[0]
+		return fmt.Sprintf("Frame anatomy: %s / %s", p.Workload, p.Design)
+	}
+	if len(in.Profiles) > 1 {
+		return "Frame anatomy comparison"
+	}
+	return "pim-render report"
+}
+
+// profileLabel distinguishes profiles in comparison views: designs alone
+// when the workload is shared, workload/design otherwise.
+func profileLabel(p *obs.FrameProfile, sharedWorkload bool) string {
+	if sharedWorkload {
+		return p.Design
+	}
+	return p.Workload + " / " + p.Design
+}
+
+// writeComparison renders side-by-side headline bars across profiles.
+func writeComparison(b *strings.Builder, profiles []*obs.FrameProfile) {
+	shared := true
+	for _, p := range profiles[1:] {
+		if p.Workload != profiles[0].Workload {
+			shared = false
+		}
+	}
+	var labels []string
+	var cycles, traffic, fetches []float64
+	for _, p := range profiles {
+		if len(p.Frames) == 0 {
+			continue
+		}
+		var cyc, offchip, fet float64
+		for _, f := range p.Frames {
+			cyc += float64(f.Cycles)
+			for _, g := range f.Groups {
+				offchip += float64(g.OffChipBytes)
+				fet += float64(g.TexelFetches)
+			}
+		}
+		labels = append(labels, profileLabel(p, shared))
+		cycles = append(cycles, cyc)
+		traffic = append(traffic, offchip)
+		fetches = append(fetches, fet)
+	}
+	if len(labels) < 2 {
+		return
+	}
+	b.WriteString("<h2>Design comparison</h2>\n<div class=\"row\">\n")
+	barChart(b, "Render time", "cycles", labels, cycles, nil)
+	barChart(b, "Fragment-stage off-chip traffic", "bytes", labels, traffic, nil)
+	barChart(b, "Texel fetches", "", labels, fetches, nil)
+	b.WriteString("</div>\n")
+}
+
+// meterFamily collapses per-instance meter names into plottable families:
+// every vault TSV sums into one "vaults" line, every DRAM channel into one
+// bus line, and multi-cube prefixes fold into their cube-local name.
+func meterFamily(name string) string {
+	if strings.HasPrefix(name, "cube") {
+		if i := strings.Index(name, "."); i > 0 {
+			name = name[i+1:]
+		}
+	}
+	if strings.HasPrefix(name, "hmc.vault") {
+		return "hmc vaults (tsv)"
+	}
+	if strings.HasPrefix(name, "dram.ch") {
+		return "dram bus"
+	}
+	return strings.ReplaceAll(name, ".", " ")
+}
+
+// familySeries aggregates a frame's merged timelines into per-family
+// bytes-per-cycle series (at the paper's 1 GHz GPU clock, bytes/cycle
+// reads directly as GB/s).
+func familySeries(f *obs.FrameAnatomy) []series {
+	type agg struct {
+		bytes []float64
+		w     float64
+	}
+	fams := map[string]*agg{}
+	for i := range f.Timelines {
+		t := &f.Timelines[i]
+		if t.Empty() {
+			continue
+		}
+		fam := meterFamily(t.Meter)
+		a, ok := fams[fam]
+		if !ok {
+			a = &agg{bytes: make([]float64, len(t.Bytes)), w: t.BucketCycles()}
+			fams[fam] = a
+		}
+		for j, v := range t.Bytes {
+			if j < len(a.bytes) {
+				a.bytes[j] += v
+			}
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]series, 0, len(names))
+	for _, n := range names {
+		a := fams[n]
+		vals := make([]float64, len(a.bytes))
+		if a.w > 0 {
+			for i, v := range a.bytes {
+				vals[i] = v / a.w
+			}
+		}
+		out = append(out, series{name: n, values: vals})
+	}
+	return out
+}
+
+func writeProfile(b *strings.Builder, p *obs.FrameProfile) {
+	fmt.Fprintf(b, "<h2>%s / %s</h2>\n", esc(p.Workload), esc(p.Design))
+	prov := fmt.Sprintf("schema %s &#183; sim version %s", esc(p.Schema), esc(p.SimVersion))
+	if p.Build != nil {
+		prov += fmt.Sprintf(" &#183; built with %s (%s)", esc(p.Build.GoVersion), esc(p.Build.Version))
+	}
+	fmt.Fprintf(b, `<p class="meta">%s</p>`+"\n", prov)
+	for i := range p.Frames {
+		writeFrame(b, &p.Frames[i], len(p.Frames) > 1)
+	}
+}
+
+func writeFrame(b *strings.Builder, f *obs.FrameAnatomy, multi bool) {
+	if multi {
+		fmt.Fprintf(b, "<h3>Frame %d &#8212; %dx%d, %s cycles</h3>\n", f.Frame, f.Width, f.Height, esc(fnum(float64(f.Cycles))))
+	} else {
+		fmt.Fprintf(b, "<h3>%dx%d, %s cycles</h3>\n", f.Width, f.Height, esc(fnum(float64(f.Cycles))))
+	}
+
+	// Bandwidth timelines with the pipeline stages as background bands.
+	sers := familySeries(f)
+	if len(sers) > 0 {
+		var bands []band
+		for _, s := range f.Stages {
+			bands = append(bands, band{label: s.Name, start: float64(s.Start), end: float64(s.End)})
+		}
+		timelineChart(b, sers, bands, float64(f.Cycles), "bytes/cycle")
+	}
+
+	// Supertile heatmaps: where the frame's time, shading and traffic went.
+	if len(f.Groups) > 0 {
+		cellOf := func(get func(*obs.GroupProfile) float64) []heatCell {
+			cells := make([]heatCell, 0, len(f.Groups))
+			for i := range f.Groups {
+				g := &f.Groups[i]
+				cells = append(cells, heatCell{x: g.X, y: g.Y, value: get(g)})
+			}
+			return cells
+		}
+		b.WriteString("<div class=\"row\">\n")
+		heatmap(b, "cycles", cellOf(func(g *obs.GroupProfile) float64 { return float64(g.Cycles()) }), f.Width, f.Height, f.GroupPx, nil)
+		heatmap(b, "fragments", cellOf(func(g *obs.GroupProfile) float64 { return float64(g.Fragments) }), f.Width, f.Height, f.GroupPx, nil)
+		heatmap(b, "texel fetches", cellOf(func(g *obs.GroupProfile) float64 { return float64(g.TexelFetches) }), f.Width, f.Height, f.GroupPx, nil)
+		heatmap(b, "off-chip bytes", cellOf(func(g *obs.GroupProfile) float64 { return float64(g.OffChipBytes) }), f.Width, f.Height, f.GroupPx, nil)
+		b.WriteString("</div>\n")
+	}
+
+	// Stage spans and the off-chip traffic breakdown.
+	if len(f.Stages) > 0 {
+		b.WriteString("<table><tr><th>stage</th><th>start</th><th>end</th><th>cycles</th><th>share</th></tr>\n")
+		for _, s := range f.Stages {
+			share := 0.0
+			if f.Cycles > 0 {
+				share = float64(s.End-s.Start) / float64(f.Cycles)
+			}
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%.1f%%</td></tr>\n",
+				esc(s.Name), s.Start, s.End, s.End-s.Start, 100*share)
+		}
+		b.WriteString("</table>\n")
+	}
+	if len(f.TrafficBytes) > 0 {
+		keys := make([]string, 0, len(f.TrafficBytes))
+		var total uint64
+		for k, v := range f.TrafficBytes {
+			keys = append(keys, k)
+			total += v
+		}
+		sort.Strings(keys)
+		b.WriteString("<table><tr><th>traffic class</th><th>bytes</th><th>share</th></tr>\n")
+		for _, k := range keys {
+			v := f.TrafficBytes[k]
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%.1f%%</td></tr>\n",
+				esc(k), v, 100*float64(v)/float64(total))
+		}
+		fmt.Fprintf(b, "<tr><th>total</th><th>%d</th><th>100%%</th></tr>\n</table>\n", total)
+	}
+}
+
+func writeExperimentSet(b *strings.Builder, set *obs.ExperimentSet) {
+	title := "Experiments"
+	if set.Set != "" {
+		title += " — " + set.Set
+	}
+	fmt.Fprintf(b, "<h2>%s</h2>\n", esc(title))
+	for _, e := range set.Experiments {
+		name := e.Name
+		if e.Title != "" {
+			name = e.Title
+		}
+		fmt.Fprintf(b, "<h3>%s</h3>\n<table><tr>", esc(name))
+		for _, c := range e.Columns {
+			fmt.Fprintf(b, "<th>%s</th>", esc(c))
+		}
+		b.WriteString("</tr>\n")
+		for _, row := range e.Rows {
+			b.WriteString("<tr>")
+			for _, cell := range row {
+				fmt.Fprintf(b, "<td>%s</td>", esc(cell))
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</table>\n")
+		if len(e.Summary) > 0 {
+			keys := make([]string, 0, len(e.Summary))
+			for k := range e.Summary {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var parts []string
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s = %s", k, fnum(e.Summary[k])))
+			}
+			fmt.Fprintf(b, `<p class="meta">%s</p>`+"\n", esc(strings.Join(parts, " · ")))
+		}
+	}
+	for _, errName := range set.Errors {
+		fmt.Fprintf(b, `<p class="meta">failed: %s</p>`+"\n", esc(errName))
+	}
+}

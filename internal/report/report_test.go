@@ -1,0 +1,167 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report fixture")
+
+func loadProfile(t *testing.T, name string) *obs.FrameProfile {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := obs.ReadFrameProfile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func fixtureInput(t *testing.T) Input {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "experiments_fixture.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var set obs.ExperimentSet
+	if err := json.Unmarshal(data, &set); err != nil {
+		t.Fatal(err)
+	}
+	return Input{
+		Profiles: []*obs.FrameProfile{
+			loadProfile(t, "profile_fixture.json"),
+			loadProfile(t, "profile_fixture_atfim.json"),
+		},
+		Experiments: []*obs.ExperimentSet{&set},
+	}
+}
+
+// volatileMeta is the one run-dependent line in a report (the generating
+// binary's own version); the golden comparison masks it.
+var volatileMeta = regexp.MustCompile(`<p class="meta">pimreport [^<]*</p>`)
+
+func render(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Generate(&buf, fixtureInput(t)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestGoldenReport pins the full rendered document (modulo the generator's
+// own version line) against the committed fixture. Regenerate with
+// `go test ./internal/report -run TestGoldenReport -update`.
+func TestGoldenReport(t *testing.T) {
+	got := volatileMeta.ReplaceAllString(render(t), "<p class=\"meta\">pimreport VERSION</p>")
+	golden := filepath.Join("testdata", "golden_report.html")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("report differs from golden fixture (len %d vs %d); run with -update after intentional changes",
+			len(got), len(want))
+	}
+}
+
+var svgBlock = regexp.MustCompile(`(?s)<svg.*?</svg>`)
+
+// TestEverySVGIsWellFormed: each inline chart must parse as standalone XML
+// and actually contain drawing elements (the CI smoke criterion).
+func TestEverySVGIsWellFormed(t *testing.T) {
+	html := render(t)
+	svgs := svgBlock.FindAllString(html, -1)
+	if len(svgs) < 5 {
+		t.Fatalf("found %d SVG blocks, want >= 5 (comparison bars + 2 timelines + heatmaps)", len(svgs))
+	}
+	for i, s := range svgs {
+		var node struct{}
+		if err := xml.Unmarshal([]byte(s), &node); err != nil {
+			t.Fatalf("svg %d is not well-formed XML: %v\n%s", i, err, s[:min(200, len(s))])
+		}
+		if !strings.Contains(s, "<rect") && !strings.Contains(s, "<polyline") {
+			t.Fatalf("svg %d has no drawing elements", i)
+		}
+	}
+}
+
+// TestReportSelfContained: no scripts, no external references.
+func TestReportSelfContained(t *testing.T) {
+	html := render(t)
+	if strings.Contains(html, "<script") {
+		t.Fatal("report contains a script")
+	}
+	stripped := strings.ReplaceAll(html, `xmlns="http://www.w3.org/2000/svg"`, "")
+	for _, bad := range []string{"http://", "https://", "<img", "<link", "@import"} {
+		if strings.Contains(stripped, bad) {
+			t.Fatalf("report references an external resource (%q)", bad)
+		}
+	}
+	for _, needle := range []string{
+		"Design comparison", "doom3-320x240", "B-PIM", "A-TFIM",
+		"hmc link tx", "hmc vaults (tsv)", "texel fetches",
+		"Fig 10: texture filtering speedup", "sim version 2",
+	} {
+		if !strings.Contains(html, needle) {
+			t.Fatalf("report is missing %q", needle)
+		}
+	}
+}
+
+func TestMeterFamily(t *testing.T) {
+	cases := map[string]string{
+		"hmc.link.tx":       "hmc link tx",
+		"hmc.vault07.tsv":   "hmc vaults (tsv)",
+		"cube3.hmc.link.rx": "hmc link rx",
+		"cube0.hmc.vault00.tsv": "hmc vaults (tsv)",
+		"dram.ch05.bus": "dram bus",
+	}
+	for in, want := range cases {
+		if got := meterFamily(in); got != want {
+			t.Errorf("meterFamily(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{0: 1, 0.7: 1, 1.2: 2, 3: 5, 7: 10, 42: 50, 99: 100, 120: 200}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestRampColorBounds(t *testing.T) {
+	for _, v := range []float64{-1, 0, 0.5, 1, 2} {
+		c := rampColor(v)
+		if len(c) != 7 || c[0] != '#' {
+			t.Fatalf("rampColor(%v) = %q", v, c)
+		}
+	}
+	if rampColor(0) != "#eff6ff" {
+		t.Fatalf("ramp start %q", rampColor(0))
+	}
+	if rampColor(1) != "#08306b" {
+		t.Fatalf("ramp end %q", rampColor(1))
+	}
+}

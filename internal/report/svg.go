@@ -1,0 +1,289 @@
+package report
+
+// Hand-rolled SVG chart primitives. Every chart is emitted as a static,
+// well-formed inline <svg> element (the CI smoke leg parses each one as
+// XML), with no scripting, external fonts, or stylesheet dependencies —
+// a report is one self-contained HTML file.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// esc escapes text for HTML/XML element and attribute content.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// palette is an Okabe-Ito-derived categorical palette (colorblind-safe).
+var palette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#e69f00",
+	"#cc79a7", "#56b4e9", "#8a6fb5", "#666666",
+}
+
+func seriesColor(i int) string { return palette[i%len(palette)] }
+
+// fnum formats an axis/legend number compactly (1.5k, 2.3M, ...).
+func fnum(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e9:
+		return trimZero(fmt.Sprintf("%.1fG", v/1e9))
+	case a >= 1e6:
+		return trimZero(fmt.Sprintf("%.1fM", v/1e6))
+	case a >= 1e3:
+		return trimZero(fmt.Sprintf("%.1fk", v/1e3))
+	case a >= 10 || a == math.Trunc(a):
+		return trimZero(fmt.Sprintf("%.1f", v))
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func trimZero(s string) string {
+	if i := strings.Index(s, ".0"); i >= 0 && (i+2 == len(s) || !isDigit(s[i+2])) {
+		return s[:i] + s[i+2:]
+	}
+	return s
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// niceCeil rounds v up to a 1/2/5 x 10^n bound (chart axis maximum).
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	exp := math.Floor(math.Log10(v))
+	base := math.Pow(10, exp)
+	frac := v / base
+	switch {
+	case frac <= 1:
+		return base
+	case frac <= 2:
+		return 2 * base
+	case frac <= 5:
+		return 5 * base
+	default:
+		return 10 * base
+	}
+}
+
+// series is one named line on a timeline chart.
+type series struct {
+	name   string
+	values []float64 // one value per bucket
+}
+
+// band is a shaded background span (pipeline stage) on a timeline chart.
+type band struct {
+	label      string
+	start, end float64 // cycle coordinates
+}
+
+// timelineChart renders layered line series over [0, endCycle) with stage
+// bands, a y-axis in the given unit, and a legend.
+func timelineChart(b *strings.Builder, sers []series, bands []band, endCycle float64, unit string) {
+	const (
+		w, h           = 820.0, 240.0
+		ml, mr, mt, mb = 64.0, 14.0, 22.0, 30.0
+	)
+	pw, ph := w-ml-mr, h-mt-mb
+	legendRows := (len(sers) + 3) / 4
+	totalH := h + float64(legendRows)*16
+
+	var ymax float64
+	for _, s := range sers {
+		for _, v := range s.values {
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	ymax = niceCeil(ymax)
+	if endCycle <= 0 {
+		endCycle = 1
+	}
+	xOf := func(cyc float64) float64 { return ml + pw*cyc/endCycle }
+	yOf := func(v float64) float64 { return mt + ph*(1-v/ymax) }
+
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %g %g" width="%g" height="%g" font-family="sans-serif" font-size="11">`,
+		w, totalH, w, totalH)
+
+	// Stage bands (alternating shade) with labels above the plot.
+	for i, bd := range bands {
+		x0, x1 := xOf(bd.start), xOf(bd.end)
+		if x1 <= x0 {
+			continue
+		}
+		if i%2 == 1 {
+			fmt.Fprintf(b, `<rect x="%.1f" y="%g" width="%.1f" height="%g" fill="#000000" opacity="0.05"/>`,
+				x0, mt, x1-x0, ph)
+		}
+		if x1-x0 > 28 {
+			fmt.Fprintf(b, `<text x="%.1f" y="%g" text-anchor="middle" fill="#555555" font-size="10">%s</text>`,
+				(x0+x1)/2, mt-8, esc(bd.label))
+		}
+	}
+
+	// Axes and gridlines.
+	fmt.Fprintf(b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#999999"/>`, ml, mt, pw, ph)
+	for i := 0; i <= 4; i++ {
+		v := ymax * float64(i) / 4
+		y := yOf(v)
+		if i > 0 && i < 4 {
+			fmt.Fprintf(b, `<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#dddddd"/>`, ml, y, ml+pw, y)
+		}
+		fmt.Fprintf(b, `<text x="%g" y="%.1f" text-anchor="end" fill="#333333">%s</text>`, ml-6, y+4, esc(fnum(v)))
+	}
+	for i := 0; i <= 4; i++ {
+		cyc := endCycle * float64(i) / 4
+		x := xOf(cyc)
+		fmt.Fprintf(b, `<text x="%.1f" y="%g" text-anchor="middle" fill="#333333">%s</text>`, x, mt+ph+14, esc(fnum(cyc)))
+	}
+	fmt.Fprintf(b, `<text x="%g" y="%g" text-anchor="middle" fill="#333333">cycles</text>`, ml+pw/2, mt+ph+27)
+	fmt.Fprintf(b, `<text x="14" y="%g" text-anchor="middle" fill="#333333" transform="rotate(-90 14 %g)">%s</text>`,
+		mt+ph/2, mt+ph/2, esc(unit))
+
+	// One polyline per series.
+	for si, s := range sers {
+		if len(s.values) == 0 {
+			continue
+		}
+		var pts strings.Builder
+		bw := endCycle / float64(len(s.values))
+		for i, v := range s.values {
+			x := xOf((float64(i) + 0.5) * bw)
+			fmt.Fprintf(&pts, "%.1f,%.1f ", x, yOf(v))
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`,
+			strings.TrimSpace(pts.String()), seriesColor(si))
+	}
+
+	// Legend rows under the plot.
+	for si, s := range sers {
+		lx := ml + float64(si%4)*190
+		ly := h - 4 + float64(si/4)*16
+		fmt.Fprintf(b, `<rect x="%g" y="%g" width="10" height="10" fill="%s"/>`, lx, ly, seriesColor(si))
+		fmt.Fprintf(b, `<text x="%g" y="%g" fill="#333333">%s</text>`, lx+14, ly+9, esc(s.name))
+	}
+	b.WriteString("</svg>\n")
+}
+
+// rampColor maps t in [0,1] onto a light-to-dark blue ramp.
+func rampColor(t float64) string {
+	if math.IsNaN(t) || t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	lerp := func(a, b int) int { return a + int(t*float64(b-a)) }
+	return fmt.Sprintf("#%02x%02x%02x", lerp(0xef, 0x08), lerp(0xf6, 0x30), lerp(0xff, 0x6b))
+}
+
+// heatCell is one supertile group's value for a heatmap.
+type heatCell struct {
+	x, y  int // pixel origin
+	value float64
+}
+
+// heatmap renders a supertile grid of width x height pixels with cellPx
+// cells, colored by value on the blue ramp, with a max legend.
+func heatmap(b *strings.Builder, title string, cells []heatCell, width, height, cellPx int, format func(float64) string) {
+	if cellPx <= 0 {
+		cellPx = 64
+	}
+	gx := (width + cellPx - 1) / cellPx
+	gy := (height + cellPx - 1) / cellPx
+	if gx <= 0 || gy <= 0 {
+		return
+	}
+	// Cell edge in screen units: keep a map at most ~200px wide.
+	edge := 200.0 / float64(gx)
+	if edge > 26 {
+		edge = 26
+	}
+	if edge < 4 {
+		edge = 4
+	}
+	w := float64(gx)*edge + 2
+	h := float64(gy)*edge + 36
+
+	var vmax float64
+	for _, c := range cells {
+		if c.value > vmax {
+			vmax = c.value
+		}
+	}
+
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %.1f %.1f" width="%.1f" height="%.1f" font-family="sans-serif" font-size="10">`,
+		w, h, w, h)
+	fmt.Fprintf(b, `<text x="1" y="11" fill="#333333">%s</text>`, esc(title))
+	// Empty groups (no cell) keep the page background: only occupied
+	// groups are drawn, mirroring the fixed non-empty group list.
+	for _, c := range cells {
+		cx := float64(c.x/cellPx) * edge
+		cy := float64(c.y/cellPx)*edge + 16
+		t := 0.0
+		if vmax > 0 {
+			t = c.value / vmax
+		}
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#ffffff" stroke-width="0.5"/>`,
+			cx, cy, edge, edge, rampColor(t))
+	}
+	label := fnum(vmax)
+	if format != nil {
+		label = format(vmax)
+	}
+	fmt.Fprintf(b, `<text x="1" y="%.1f" fill="#555555">max %s</text>`, h-4, esc(label))
+	b.WriteString("</svg>\n")
+}
+
+// barChart renders horizontal labeled bars (design comparisons).
+func barChart(b *strings.Builder, title, unit string, labels []string, values []float64, format func(float64) string) {
+	if len(labels) == 0 {
+		return
+	}
+	const (
+		w      = 420.0
+		ml     = 150.0
+		rowH   = 22.0
+		mt, mb = 20.0, 6.0
+	)
+	pw := w - ml - 60
+	h := mt + rowH*float64(len(labels)) + mb
+	var vmax float64
+	for _, v := range values {
+		if v > vmax {
+			vmax = v
+		}
+	}
+	if vmax <= 0 {
+		vmax = 1
+	}
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %g %.1f" width="%g" height="%.1f" font-family="sans-serif" font-size="11">`,
+		w, h, w, h)
+	fmt.Fprintf(b, `<text x="1" y="12" fill="#333333" font-weight="bold">%s</text>`, esc(title+unitSuffix(unit)))
+	for i, v := range values {
+		y := mt + rowH*float64(i)
+		bw := pw * v / vmax
+		fmt.Fprintf(b, `<text x="%g" y="%.1f" text-anchor="end" fill="#333333">%s</text>`, ml-6, y+14, esc(labels[i]))
+		fmt.Fprintf(b, `<rect x="%g" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, ml, y+3, bw, rowH-7, seriesColor(i))
+		label := fnum(v)
+		if format != nil {
+			label = format(v)
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" fill="#333333">%s</text>`, ml+bw+5, y+14, esc(label))
+	}
+	b.WriteString("</svg>\n")
+}
+
+func unitSuffix(unit string) string {
+	if unit == "" {
+		return ""
+	}
+	return " (" + unit + ")"
+}

@@ -161,6 +161,35 @@ func (m *BandwidthMeter) UtilizationHistogram(bins int) []float64 {
 	return out
 }
 
+// Timeline returns the meter's reserved bytes over time as up to `buckets`
+// equal groups of accounting windows: the cycle-resolved counterpart to
+// UtilizationHistogram, carrying absolute byte counts and the meter's
+// capacity so consumers can plot bandwidth against the resource's ceiling
+// (the paper's bandwidth-over-time figures). When the busy span holds
+// fewer windows than requested buckets, one bucket per window is
+// returned; an unused meter returns an empty Timeline. Reading a timeline
+// never perturbs the meter.
+func (m *BandwidthMeter) Timeline(buckets int) obs.Timeline {
+	t := obs.Timeline{BytesPerCycle: m.BytesPerCycle}
+	n := len(m.used)
+	if buckets <= 0 || n == 0 {
+		return t
+	}
+	if buckets > n {
+		buckets = n
+	}
+	t.EndCycle = int64(n) * m.Window
+	t.Bytes = make([]float64, buckets)
+	for i := 0; i < buckets; i++ {
+		lo := i * n / buckets
+		hi := (i + 1) * n / buckets
+		for _, u := range m.used[lo:hi] {
+			t.Bytes[i] += u
+		}
+	}
+	return t
+}
+
 // Utilization returns used/capacity over the busy span (diagnostics).
 func (m *BandwidthMeter) Utilization() float64 {
 	if len(m.used) == 0 {

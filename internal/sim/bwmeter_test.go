@@ -178,6 +178,79 @@ func TestUtilizationHistogramBounds(t *testing.T) {
 	}
 }
 
+func TestTimelineEmptyMeter(t *testing.T) {
+	m := NewBandwidthMeter(8, 4)
+	if tl := m.Timeline(16); !tl.Empty() {
+		t.Fatalf("unused meter returned %d buckets, want empty", len(tl.Bytes))
+	}
+	m.Reserve(0, 32)
+	if tl := m.Timeline(0); !tl.Empty() {
+		t.Fatal("buckets=0 must return an empty timeline")
+	}
+	if tl := m.Timeline(-3); !tl.Empty() {
+		t.Fatal("negative buckets must return an empty timeline")
+	}
+}
+
+func TestTimelineSingleWindow(t *testing.T) {
+	m := NewBandwidthMeter(8, 4) // 32 B per window
+	m.Reserve(0, 20)
+	tl := m.Timeline(16) // more buckets than windows: clamps to 1
+	if len(tl.Bytes) != 1 {
+		t.Fatalf("got %d buckets for a 1-window span, want 1", len(tl.Bytes))
+	}
+	if tl.Bytes[0] != 20 {
+		t.Fatalf("bucket holds %v bytes, want 20", tl.Bytes[0])
+	}
+	if tl.EndCycle != 8 {
+		t.Fatalf("EndCycle=%d want 8 (one window)", tl.EndCycle)
+	}
+	if tl.BytesPerCycle != 4 {
+		t.Fatalf("BytesPerCycle=%v want 4", tl.BytesPerCycle)
+	}
+}
+
+func TestTimelineConservesBytes(t *testing.T) {
+	m := NewBandwidthMeter(8, 4)
+	for i := 0; i < 50; i++ {
+		m.Reserve(int64(i*5), 11)
+	}
+	want := float64(m.TotalBytes())
+	for _, buckets := range []int{1, 3, 7, 64, 1000} {
+		tl := m.Timeline(buckets)
+		var sum float64
+		for _, b := range tl.Bytes {
+			sum += b
+		}
+		if diff := sum - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("buckets=%d sums to %v bytes, want %v", buckets, sum, want)
+		}
+	}
+}
+
+func TestTimelineLocalizesBursts(t *testing.T) {
+	m := NewBandwidthMeter(8, 4) // 32 B per window
+	// Saturate windows 0..3, leave 4..7 idle.
+	for w := 0; w < 4; w++ {
+		m.Reserve(int64(w*8), 32)
+	}
+	m.Reserve(56, 1)
+	tl := m.Timeline(2)
+	if len(tl.Bytes) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(tl.Bytes))
+	}
+	if tl.Bytes[0] != 128 {
+		t.Fatalf("busy half holds %v bytes, want 128", tl.Bytes[0])
+	}
+	if tl.Bytes[1] != 1 {
+		t.Fatalf("idle half holds %v bytes, want 1", tl.Bytes[1])
+	}
+	u := tl.Utilization()
+	if u[0] < 0.99 || u[0] > 1.0 {
+		t.Fatalf("busy half utilization %v, want ~1", u[0])
+	}
+}
+
 func TestAttachTraceRecordsReservations(t *testing.T) {
 	m := NewBandwidthMeter(8, 4)
 	tr := obs.NewTracer(16)

@@ -115,6 +115,18 @@ type Progress = core.Progress
 // Progress can never perturb simulated results.
 func WithProgress(fn func(Progress)) Option { return func(o *Options) { o.Progress = fn } }
 
+// FrameProfile is the pim-render/frameprofile/v1 frame-anatomy artifact:
+// per-meter bandwidth timelines merged onto the frame timeline, per-
+// supertile-group attribution, and pipeline stage spans. Capture one with
+// WithFrameProfile; serialize with its WriteJSON method.
+type FrameProfile = obs.FrameProfile
+
+// WithFrameProfile fills dst with a frame-anatomy profile after the run.
+// Profiling is runtime-only like WithProgress: it is excluded from cache
+// keys and stored results, and simulated outputs are byte-identical with
+// and without it.
+func WithFrameProfile(dst *FrameProfile) Option { return func(o *Options) { o.Profile = dst } }
+
 // WithFrames renders n consecutive frames (default 1).
 func WithFrames(n int) Option { return func(o *Options) { o.Frames = n } }
 

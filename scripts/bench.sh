@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Runs the perf-trajectory benchmarks and writes BENCH_pr4.json: one record
+# Runs the perf-trajectory benchmarks and writes BENCH_pr6.json: one record
 # per benchmark with ns/op, so the perf trajectory across PRs is
 # machine-readable.
 #
@@ -17,7 +17,7 @@
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
-out=${1:-BENCH_pr4.json}
+out=${1:-BENCH_pr6.json}
 cd "$(dirname "$0")/.."
 
 go test -run '^$' -bench 'BenchmarkSimulateShards[128]$' \
