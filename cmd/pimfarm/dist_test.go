@@ -1,0 +1,359 @@
+package main
+
+// Distributed-mode tests at the HTTP API level: a coordinator server with
+// real dist.Worker loops executing execGrant, exercising the acceptance
+// contracts — dist results byte-identical to single-node, a worker killed
+// mid-job requeues elsewhere without spending farm retries, and a
+// coordinator restart replays journaled jobs exactly once.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/farm/dist"
+	"repro/internal/obs/telem"
+)
+
+// newDistTestServer builds a coordinator-mode API server: jobs dispatch
+// through cfg's coordinator instead of simulating in-process.
+func newDistTestServer(t *testing.T, cfg dist.Config) (*httptest.Server, *server) {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = telem.NewRegistry()
+	}
+	f := farm.New(farm.Config{Workers: 4, QueueDepth: 16})
+	api := newServer(f, nil)
+	coord := dist.NewCoordinator(cfg)
+	api.enableDist(coord)
+	ts := httptest.NewServer(api)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := f.Close(ctx); err != nil {
+			t.Error(err)
+		}
+		coord.Close()
+	})
+	return ts, api
+}
+
+// startTestWorker runs a real dist.Worker (the production execGrant) in
+// the test process, torn down with the test.
+func startTestWorker(t *testing.T, base, id string) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &dist.Worker{
+		Client: &dist.Client{Base: base, Worker: id},
+		Poll:   10 * time.Millisecond,
+		Exec:   execGrant,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("worker did not stop")
+		}
+	})
+}
+
+// distVarz is the /varz shape the dist tests read back.
+type distVarz struct {
+	farm.Counters
+	Dist *dist.Stats `json:"dist"`
+}
+
+func getVarz(t *testing.T, ts *httptest.Server) distVarz {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v distVarz
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestDistEndToEndMatchesLocal is the core acceptance: the same job run
+// through coordinator + remote worker produces a metrics snapshot
+// byte-identical to the single-node path, worker progress reaches the SSE
+// stream, and the worker shows up in GET /v1/workers and the /varz dist
+// block.
+func TestDistEndToEndMatchesLocal(t *testing.T) {
+	const body = `{"game":"doom3","width":320,"height":240,"design":"bpim"}`
+
+	local, _ := newTestServer(t)
+	jr, code := postJob(t, local, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("local POST = %d", code)
+	}
+	localFinal := pollJob(t, local, jr.ID)
+	if localFinal.State != "done" {
+		t.Fatalf("local job: %s (%s)", localFinal.State, localFinal.Error)
+	}
+	localJSON, err := json.Marshal(localFinal.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-process test worker shares the global run cache with the
+	// local server above; clear it so the dist job genuinely re-simulates
+	// on the worker instead of being a warm memory hit.
+	core.ClearRunCache()
+
+	ts, _ := newDistTestServer(t, dist.Config{TTL: time.Minute})
+	startTestWorker(t, ts.URL, "e2e-worker")
+	jr, code = postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("dist POST = %d", code)
+	}
+	distFinal := pollJob(t, ts, jr.ID)
+	if distFinal.State != "done" {
+		t.Fatalf("dist job: %s (%s)", distFinal.State, distFinal.Error)
+	}
+	distJSON, err := json.Marshal(distFinal.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(localJSON) != string(distJSON) {
+		t.Fatalf("dist result differs from local:\nlocal: %.200s\ndist:  %.200s",
+			localJSON, distJSON)
+	}
+
+	// The worker's progress documents were republished onto the job's SSE
+	// stream; replaying the retained history must include at least one.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + jr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(events), "event: progress") {
+		t.Error("no progress events on the dist job's SSE stream")
+	}
+	if !strings.Contains(string(events), "event: end") {
+		t.Error("SSE stream did not terminate with an end event")
+	}
+
+	// Worker introspection: the executing worker is live and credited.
+	resp, err = http.Get(ts.URL + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wl struct {
+		Workers []dist.WorkerView `json:"workers"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&wl)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Workers) != 1 || wl.Workers[0].ID != "e2e-worker" || !wl.Workers[0].Live {
+		t.Fatalf("/v1/workers = %+v", wl.Workers)
+	}
+	if wl.Workers[0].Completed < 1 {
+		t.Fatalf("worker completed = %d, want >= 1", wl.Workers[0].Completed)
+	}
+
+	v := getVarz(t, ts)
+	if v.Dist == nil {
+		t.Fatal("/varz has no dist block in coordinator mode")
+	}
+	if v.Dist.LeaseOps.Grants < 1 || v.Dist.WorkersLive != 1 {
+		t.Fatalf("/varz dist = %+v", v.Dist)
+	}
+
+	// A repeated submission in dist mode is served from the result cache —
+	// no second lease round-trip.
+	grantsBefore := v.Dist.LeaseOps.Grants
+	jr2, _ := postJob(t, ts, body)
+	dup := pollJob(t, ts, jr2.ID)
+	if dup.State != "done" || (!dup.CacheHit && !dup.Deduped) {
+		t.Fatalf("duplicate dist submission re-dispatched: %+v", dup.View)
+	}
+	if v2 := getVarz(t, ts); v2.Dist.LeaseOps.Grants != grantsBefore {
+		t.Fatalf("cache-served job granted a lease (%d -> %d)",
+			grantsBefore, v2.Dist.LeaseOps.Grants)
+	}
+}
+
+// TestDistWorkerDeathRequeues: a worker that leases a job and dies without
+// a word (kill -9 semantics — no renew, no complete) loses the lease on
+// TTL expiry; the job requeues and a healthy worker finishes it, without
+// consuming any of the farm's retry budget.
+func TestDistWorkerDeathRequeues(t *testing.T) {
+	ts, _ := newDistTestServer(t, dist.Config{
+		TTL: 150 * time.Millisecond, SweepEvery: 25 * time.Millisecond,
+	})
+
+	jr, code := postJob(t, ts, `{"game":"doom3","width":320,"height":240,"design":"baseline"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+
+	// The doomed "worker": a raw client that takes the lease and vanishes.
+	doomed := &dist.Client{Base: ts.URL, Worker: "doomed"}
+	deadline := time.Now().Add(10 * time.Second)
+	var got *dist.Grant
+	for time.Now().Before(deadline) {
+		g, err := doomed.Lease(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != nil {
+			got = g
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got == nil {
+		t.Fatal("job never reached the lease queue")
+	}
+
+	startTestWorker(t, ts.URL, "survivor")
+	final := pollJob(t, ts, jr.ID)
+	if final.State != "done" {
+		t.Fatalf("job after worker death: %s (%s)", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Cycles <= 0 {
+		t.Fatal("requeued job has no real result")
+	}
+
+	v := getVarz(t, ts)
+	if v.Counters.Retries != 0 {
+		t.Fatalf("lease expiry consumed %d farm retries; requeues must be free", v.Counters.Retries)
+	}
+	if v.Dist.LeaseOps.Expires < 1 || v.Dist.LeaseOps.Requeues < 1 {
+		t.Fatalf("lease ops after worker death = %+v", v.Dist.LeaseOps)
+	}
+	var doomedView *dist.WorkerView
+	for i := range v.Dist.Workers {
+		if v.Dist.Workers[i].ID == "doomed" {
+			doomedView = &v.Dist.Workers[i]
+		}
+	}
+	if doomedView == nil || doomedView.Expired < 1 {
+		t.Fatalf("doomed worker view = %+v", doomedView)
+	}
+}
+
+// TestJournalReplayAcrossServerRestart: a coordinator killed with a job
+// accepted but unfinished replays exactly that job on restart, a worker
+// completes it, and the settled record never replays again.
+func TestJournalReplayAcrossServerRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// Incarnation 1: accept a job with no workers attached, then "crash"
+	// (stop serving without any orderly farm/journal shutdown, so no
+	// terminal record is ever written).
+	f1 := farm.New(farm.Config{Workers: 2, QueueDepth: 16})
+	api1 := newServer(f1, nil)
+	coord1 := dist.NewCoordinator(dist.Config{TTL: time.Minute, Metrics: telem.NewRegistry()})
+	api1.enableDist(coord1)
+	jn1, err := dist.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api1.journal = jn1
+	api1.replayJournal()
+	ts1 := httptest.NewServer(api1)
+
+	const body = `{"game":"doom3","width":320,"height":240,"design":"stfim"}`
+	if _, code := postJob(t, ts1, body); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	if n := jn1.Len(); n != 1 {
+		t.Fatalf("journal pending after accept = %d, want 1", n)
+	}
+	ts1.Close() // crash: f1, coord1 and jn1 are deliberately leaked
+
+	// Incarnation 2: reopen the journal, replay, and let a worker finish
+	// the recovered job.
+	jn2, err := dist.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := jn2.Len(); n != 1 {
+		t.Fatalf("journal pending after restart = %d, want exactly 1", n)
+	}
+	ts2, api2 := newDistTestServer(t, dist.Config{TTL: time.Minute})
+	api2.journal = jn2
+	api2.replayJournal()
+	startTestWorker(t, ts2.URL, "recovery-worker")
+
+	// The replayed job is a fresh farm job whose origin names the journal
+	// record it will settle.
+	var replayed farm.View
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && replayed.ID == "" {
+		resp, err := http.Get(ts2.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list struct {
+			Jobs []farm.View `json:"jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range list.Jobs {
+			if strings.HasPrefix(j.Origin, "journal:") {
+				replayed = j
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if replayed.ID == "" {
+		t.Fatal("no replayed job appeared after restart")
+	}
+	final := pollJob(t, ts2, replayed.ID)
+	if final.State != "done" {
+		t.Fatalf("replayed job: %s (%s)", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Cycles <= 0 {
+		t.Fatal("replayed job has no real result")
+	}
+
+	// The terminal record lands asynchronously once the job settles; after
+	// it does, a third incarnation has nothing to replay (exactly-once).
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && jn2.Len() != 0 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := jn2.Len(); n != 0 {
+		t.Fatalf("journal pending after completion = %d, want 0", n)
+	}
+	if err := jn2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jn3, err := dist.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn3.Close()
+	if n := jn3.Len(); n != 0 {
+		t.Fatalf("third incarnation would replay %d jobs, want 0", n)
+	}
+}

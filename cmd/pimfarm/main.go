@@ -13,6 +13,14 @@
 //
 // SIGINT/SIGTERM drain the farm: the listener closes, queued jobs finish,
 // then the process exits.
+//
+// Distributed mode splits the farm across processes: `pimfarm -dist`
+// serves the same API but executes nothing itself — jobs are leased to
+// `pimfarm worker -coordinator URL` processes over HTTP, with a durable
+// journal replaying in-flight jobs across coordinator restarts:
+//
+//	pimfarm -dist -journal /tmp/farm -store /tmp/results &
+//	pimfarm worker -coordinator http://localhost:8080 -store /tmp/results &
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/farm/dist"
 	"repro/internal/obs"
 	"repro/internal/obs/slogx"
 	"repro/internal/obs/telem"
@@ -36,6 +45,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		workerMain(os.Args[2:])
+		return
+	}
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -49,6 +62,9 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		version   = flag.Bool("version", false, "print version and exit")
+		distMode  = flag.Bool("dist", false, "coordinator mode: lease jobs to `pimfarm worker` processes instead of simulating in-process")
+		leaseTTL  = flag.Duration("lease-ttl", dist.DefaultTTL, "dist: lease duration; a worker silent this long loses its job back to the queue")
+		journal   = flag.String("journal", "", "dist: durable job-journal directory; queued and in-flight jobs replay after a coordinator restart")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -99,8 +115,16 @@ func main() {
 		// would just duplicate every write).
 		log.Info("store open", "dir", st.Dir(), "entries", st.Len(), "bytes", st.Size())
 	}
+	farmWorkers := *workers
+	if *distMode && farmWorkers == 0 {
+		// In dist mode a farm worker goroutine only parks on a coordinator
+		// outcome channel while a remote process simulates, so the pool
+		// bounds in-flight leases rather than CPU use — size it generously
+		// instead of by GOMAXPROCS.
+		farmWorkers = 64
+	}
 	f := farm.New(farm.Config{
-		Workers:    *workers,
+		Workers:    farmWorkers,
 		QueueDepth: *queue,
 		CacheCap:   *cachecap,
 		Retries:    *retries,
@@ -111,6 +135,25 @@ func main() {
 	api := newServer(f, st)
 	api.log = log
 	api.pprofOn = *pprofOn
+	var coord *dist.Coordinator
+	if *distMode {
+		coord = dist.NewCoordinator(dist.Config{TTL: *leaseTTL})
+		api.enableDist(coord)
+		log.Info("distributed mode", "lease_ttl", leaseTTL.String(),
+			"dispatch_slots", f.Workers())
+	}
+	if *journal != "" {
+		if !*distMode {
+			fatal(errors.New("-journal requires -dist (the journal replays jobs onto coordinator restarts)"))
+		}
+		jn, err := dist.OpenJournal(*journal)
+		if err != nil {
+			fatal(err)
+		}
+		api.journal = jn
+		log.Info("journal open", "dir", *journal, "pending", jn.Len())
+		api.replayJournal()
+	}
 	srv := &http.Server{Addr: *addr, Handler: api}
 	errCh := make(chan error, 1)
 	go func() {
@@ -137,6 +180,17 @@ func main() {
 	}
 	if err := f.Close(ctx); err != nil {
 		log.Error("forced farm shutdown", "err", err.Error())
+	}
+	if coord != nil {
+		cs := coord.Stats()
+		coord.Close()
+		log.Info("coordinator closed", "grants", cs.LeaseOps.Grants,
+			"expires", cs.LeaseOps.Expires, "requeues", cs.LeaseOps.Requeues)
+	}
+	if api.journal != nil {
+		if err := api.journal.Close(); err != nil {
+			log.Error("journal close", "err", err.Error())
+		}
 	}
 	c := f.Counters()
 	log.Info("drained", "done", c.Done, "failed", c.Failed, "canceled", c.Canceled,

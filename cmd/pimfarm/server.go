@@ -18,6 +18,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/farm/dist"
 	"repro/internal/obs"
 	"repro/internal/obs/slogx"
 	"repro/internal/obs/telem"
@@ -92,6 +93,15 @@ type server struct {
 	pprofOn bool
 	reqSeq  atomic.Uint64
 
+	// coord, when set (enableDist), switches job execution to the
+	// distributed path: Run closures enqueue on the coordinator and block
+	// for a worker's outcome instead of simulating in-process. journal,
+	// when set, makes accepted jobs durable — every submission appends an
+	// enqueue record and every settled job a terminal record, so a
+	// restarted coordinator replays what was in flight.
+	coord   *dist.Coordinator
+	journal *dist.Journal
+
 	// profiles holds captured frame-anatomy artifacts keyed by job ID
 	// (jobs submitted with "profile": true that really simulated). Entries
 	// for jobs the farm no longer retains are pruned on each store.
@@ -134,6 +144,20 @@ func newServer(f *farm.Farm, st *store.Store) *server {
 	s.mux.HandleFunc("/metrics", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/", handleUnknown)
 	return s
+}
+
+// enableDist attaches the distributed coordinator: the lease-protocol and
+// worker-introspection endpoints are mounted on the server mux (inheriting
+// the X-Request-ID / request-log middleware) and every subsequently built
+// job dispatches to remote workers instead of simulating in-process.
+func (s *server) enableDist(c *dist.Coordinator) {
+	s.coord = c
+	c.Routes(s.mux)
+	s.mux.HandleFunc("/v1/leases", methodNotAllowed("POST"))
+	s.mux.HandleFunc("/v1/leases/{id}/renew", methodNotAllowed("POST"))
+	s.mux.HandleFunc("/v1/leases/{id}/progress", methodNotAllowed("POST"))
+	s.mux.HandleFunc("/v1/leases/{id}/complete", methodNotAllowed("POST"))
+	s.mux.HandleFunc("/v1/workers", methodNotAllowed("GET"))
 }
 
 // ServeHTTP stamps every request with an ID (also answered in
@@ -187,18 +211,8 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	design, err := parseDesign(req.Design)
+	task, err := s.buildTask(&req, w.Header().Get("X-Request-ID"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	wl, err := workload.Get(req.Game, req.Width, req.Height)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	opts := req.options(design)
-	if err := core.ValidateOptions(opts); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -207,41 +221,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// 503 instead of hanging the client.
 	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
 	defer cancel()
-	job, err := s.farm.Submit(ctx, farm.Task{
-		Key:    core.CacheKey(wl, opts),
-		Label:  fmt.Sprintf("%s@%dx%d/%s", req.Game, req.Width, req.Height, design),
-		Origin: w.Header().Get("X-Request-ID"),
-		Meta:   &req,
-		Run: func(runCtx context.Context) (any, error) {
-			// The job's own context: canceled by DELETE /v1/jobs/{id},
-			// by a waiting client disconnecting, or on forced shutdown.
-			// Simulation progress is published onto the job's event stream
-			// (GET /v1/jobs/{id}/events); Progress is runtime-only and does
-			// not affect cache keys or stored results.
-			ropts := opts
-			var fp *obs.FrameProfile
-			j, hasJob := farm.JobFromContext(runCtx)
-			if hasJob {
-				ropts.Progress = func(p core.Progress) { j.Publish("progress", p) }
-			}
-			if req.Profile {
-				// Frame-anatomy capture (GET /v1/jobs/{id}/profile).
-				// Runtime-only, so it is filled only when this job really
-				// simulates: a memory/store hit or a singleflight twin
-				// leaves it empty and the endpoint answers 404.
-				fp = &obs.FrameProfile{}
-				ropts.Profile = fp
-			}
-			res, err := core.RunCachedContext(runCtx, wl, ropts)
-			if err != nil {
-				return nil, err
-			}
-			if fp != nil && hasJob && len(fp.Frames) > 0 {
-				s.storeProfile(j.ID(), fp)
-			}
-			return res, nil
-		},
-	})
+	job, err := s.submit(ctx, task, &req)
 	if err != nil {
 		switch {
 		case errors.Is(err, farm.ErrClosed), errors.Is(err, farm.ErrShutdown):
@@ -267,6 +247,206 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobResponse{View: job.View(), Request: &req})
+}
+
+// buildTask validates req and assembles the farm task. The Run closure
+// either simulates in-process (single-node mode) or dispatches to the
+// distributed coordinator (dist mode); everything else about the job —
+// dedup key, SSE lifecycle, retry budget, cache tiers — is identical in
+// both modes.
+func (s *server) buildTask(req *jobRequest, origin string) (farm.Task, error) {
+	design, err := parseDesign(req.Design)
+	if err != nil {
+		return farm.Task{}, err
+	}
+	wl, err := workload.Get(req.Game, req.Width, req.Height)
+	if err != nil {
+		return farm.Task{}, err
+	}
+	opts := req.options(design)
+	if err := core.ValidateOptions(opts); err != nil {
+		return farm.Task{}, err
+	}
+	t := farm.Task{
+		Key:    core.CacheKey(wl, opts),
+		Label:  fmt.Sprintf("%s@%dx%d/%s", req.Game, req.Width, req.Height, design),
+		Origin: origin,
+		Meta:   req,
+	}
+	if s.coord != nil {
+		t.Run = s.distRun(req, t.Key, t.Label)
+	} else {
+		t.Run = s.localRun(req, wl, opts)
+	}
+	return t, nil
+}
+
+// localRun executes the job in-process through the tiered cache path.
+func (s *server) localRun(req *jobRequest, wl workload.Workload, opts core.Options) func(context.Context) (any, error) {
+	return func(runCtx context.Context) (any, error) {
+		// The job's own context: canceled by DELETE /v1/jobs/{id},
+		// by a waiting client disconnecting, or on forced shutdown.
+		// Simulation progress is published onto the job's event stream
+		// (GET /v1/jobs/{id}/events); Progress is runtime-only and does
+		// not affect cache keys or stored results.
+		ropts := opts
+		var fp *obs.FrameProfile
+		j, hasJob := farm.JobFromContext(runCtx)
+		if hasJob {
+			ropts.Progress = func(p core.Progress) { j.Publish("progress", p) }
+		}
+		if req.Profile {
+			// Frame-anatomy capture (GET /v1/jobs/{id}/profile).
+			// Runtime-only, so it is filled only when this job really
+			// simulates: a memory/store hit or a singleflight twin
+			// leaves it empty and the endpoint answers 404.
+			fp = &obs.FrameProfile{}
+			ropts.Profile = fp
+		}
+		res, err := core.RunCachedContext(runCtx, wl, ropts)
+		if err != nil {
+			return nil, err
+		}
+		if fp != nil && hasJob && len(fp.Frames) > 0 {
+			s.storeProfile(j.ID(), fp)
+		}
+		return res, nil
+	}
+}
+
+// distRun dispatches the job to a remote worker through the coordinator
+// and blocks until a worker delivers the outcome. Worker progress
+// documents are republished onto the job's SSE stream, so GET
+// /v1/jobs/{id}/events behaves identically to single-node mode. Lease
+// expiries (worker crashed or stalled) requeue inside the coordinator
+// without returning from Run, so the farm's retry budget is spent only on
+// genuine execution errors. Canceling the job abandons the dispatch,
+// which invalidates any outstanding lease — the worker's next heartbeat
+// learns the work is dead and aborts. Frame-anatomy capture ("profile":
+// true) is a no-op in dist mode: profiles are runtime artifacts of the
+// process that simulates, which is the worker, not the coordinator.
+func (s *server) distRun(req *jobRequest, key, label string) func(context.Context) (any, error) {
+	return func(runCtx context.Context) (any, error) {
+		spec, err := json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("dist: encode spec: %w", err)
+		}
+		var onProgress func(json.RawMessage)
+		if j, ok := farm.JobFromContext(runCtx); ok {
+			onProgress = func(raw json.RawMessage) { j.Publish("progress", raw) }
+		}
+		id, ch, err := s.coord.Enqueue(dist.Job{
+			Key: key, Label: label, Spec: spec, OnProgress: onProgress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case o := <-ch:
+			if o.Err != "" {
+				return nil, fmt.Errorf("dist: worker %s: %s", o.Worker, o.Err)
+			}
+			res, err := core.DecodeResultPayload(key, o.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("dist: worker %s result: %w", o.Worker, err)
+			}
+			return res, nil
+		case <-runCtx.Done():
+			s.coord.Abandon(id)
+			return nil, runCtx.Err()
+		}
+	}
+}
+
+// submit journals the job (when a journal is attached) and enqueues it on
+// the farm. The journal record is settled when the job reaches a terminal
+// state; a job accepted but never settled — the coordinator died first —
+// replays on the next start.
+func (s *server) submit(ctx context.Context, t farm.Task, req *jobRequest) (*farm.Job, error) {
+	var recID string
+	if s.journal != nil {
+		spec, err := json.Marshal(req)
+		if err == nil {
+			recID, err = s.journal.Enqueue(t.Key, t.Label, spec)
+		}
+		if err != nil {
+			// Durability is the journal's whole point: refuse the job
+			// rather than accept it on a dead disk.
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	job, err := s.farm.Submit(ctx, t)
+	if err != nil {
+		if recID != "" {
+			if terr := s.journal.Terminal(recID, dist.OpCanceled); terr != nil {
+				s.log.Error("journal terminal", "rec", recID, "err", terr.Error())
+			}
+		}
+		return nil, err
+	}
+	if recID != "" {
+		go s.settleJournal(job, recID)
+	}
+	return job, nil
+}
+
+// settleJournal writes the journal terminal record once the job settles,
+// mapping the farm state to the journal op.
+func (s *server) settleJournal(job *farm.Job, recID string) {
+	<-job.Done()
+	op := dist.OpDone
+	switch job.State() {
+	case farm.Failed:
+		op = dist.OpFailed
+	case farm.Canceled:
+		op = dist.OpCanceled
+	}
+	if err := s.journal.Terminal(recID, op); err != nil {
+		s.log.Error("journal terminal", "rec", recID, "err", err.Error())
+	}
+}
+
+// replayJournal resubmits the journal's pending records — jobs that were
+// queued or leased when the previous coordinator process died. Each
+// replayed job settles the same journal record its original submission
+// opened, so recovery is exactly-once: a record replays until some
+// incarnation of the job reaches a terminal state, and never again after.
+// Records whose spec no longer parses (simulator evolved across the
+// restart) are settled as failed rather than wedging the journal.
+func (s *server) replayJournal() {
+	if s.journal == nil {
+		return
+	}
+	pend := s.journal.Pending()
+	if len(pend) == 0 {
+		return
+	}
+	recovered := 0
+	for _, rec := range pend {
+		var req jobRequest
+		if err := json.Unmarshal(rec.Spec, &req); err != nil {
+			s.log.Error("journal replay: bad spec", "rec", rec.ID, "err", err.Error())
+			_ = s.journal.Terminal(rec.ID, dist.OpFailed)
+			continue
+		}
+		task, err := s.buildTask(&req, "journal:"+rec.ID)
+		if err != nil {
+			s.log.Error("journal replay: stale job", "rec", rec.ID, "err", err.Error())
+			_ = s.journal.Terminal(rec.ID, dist.OpFailed)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		job, err := s.farm.Submit(ctx, task)
+		cancel()
+		if err != nil {
+			// Leave the record pending: the next restart retries it.
+			s.log.Error("journal replay: submit", "rec", rec.ID, "err", err.Error())
+			continue
+		}
+		go s.settleJournal(job, rec.ID)
+		recovered++
+	}
+	s.log.Info("journal replay", "pending", len(pend), "recovered", recovered)
 }
 
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -373,6 +553,10 @@ func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		Store    *store.Counters      `json:"store,omitempty"`
 		RunCache map[string]uint64    `json:"run_cache"`
 		BW       map[string][]float64 `json:"bw_utilization,omitempty"`
+		// Dist is the coordinator view (queue, lease ops, per-worker
+		// liveness); the key cannot be "workers" because farm.Counters
+		// already publishes its pool size there.
+		Dist *dist.Stats `json:"dist,omitempty"`
 	}{
 		Counters: s.farm.Counters(),
 		RunCache: core.RunCacheCounters(),
@@ -381,6 +565,10 @@ func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		c := s.store.Counters()
 		resp.Store = &c
+	}
+	if s.coord != nil {
+		st := s.coord.Stats()
+		resp.Dist = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,132 @@
+package main
+
+// pimfarm worker: the pull side of the distributed farm. A worker process
+// polls the coordinator for leases, simulates each granted job through the
+// same tiered cache path the single-node server uses (memory → shared
+// store → compute), and streams progress and the encoded result back over
+// HTTP. Heartbeats renew the lease while the simulation runs; if the
+// coordinator declares the lease gone (job canceled, or this worker was
+// presumed dead), execution is aborted promptly.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/farm/dist"
+	"repro/internal/obs"
+	"repro/internal/obs/slogx"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// workerMain is the `pimfarm worker` entry point.
+func workerMain(args []string) {
+	fs := flag.NewFlagSet("pimfarm worker", flag.ExitOnError)
+	var (
+		coordURL = fs.String("coordinator", "", "coordinator base URL (required), e.g. http://localhost:8080")
+		id       = fs.String("id", "", "worker identity shown in GET /v1/workers (default host-pid)")
+		storeDir = fs.String("store", "", "durable result-store directory; share it with the coordinator so results are warm hits everywhere")
+		jobs     = fs.Int("jobs", 1, "leases executed concurrently")
+		shards   = fs.Int("shards", 0, "frame tile-scan shards per simulation (0 = GOMAXPROCS)")
+		poll     = fs.Duration("poll", dist.DefaultPoll, "idle poll interval")
+		logLevel = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		version  = fs.Bool("version", false, "print version and exit")
+	)
+	_ = fs.Parse(args)
+	if *version {
+		fmt.Printf("pimfarm worker %s (%s)\n", obs.Version(), obs.GoVersion())
+		return
+	}
+	if *coordURL == "" {
+		fatal(fmt.Errorf("worker: -coordinator URL is required"))
+	}
+	level, err := slogx.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	log := slogx.New(os.Stderr, slogx.Options{Level: level, Timestamps: true})
+	slog.SetDefault(log)
+	core.SetDefaultShards(*shards)
+	if *id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			fatal(err)
+		}
+		// Workers attach the store to the run-cache tier chain directly:
+		// a job another node already computed is a disk hit here, and every
+		// result this worker computes lands in the shared directory for the
+		// coordinator and its siblings to serve warm.
+		core.SetResultStore(st)
+		log.Info("store open", "dir", st.Dir(), "entries", st.Len(), "bytes", st.Size())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &dist.Worker{
+		Client: &dist.Client{Base: *coordURL, Worker: *id},
+		Slots:  *jobs,
+		Poll:   *poll,
+		Log:    log,
+		Exec:   execGrant,
+	}
+	log.Info("worker starting", "id", *id, "coordinator", *coordURL,
+		"jobs", *jobs, "version", obs.Version())
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		fatal(err)
+	}
+	log.Info("worker stopped", "id", *id)
+}
+
+// execGrant simulates one leased job: the grant spec is the jobRequest the
+// coordinator accepted, the result payload the pim-render/result/v1
+// document the coordinator decodes. Decoding is lenient (unknown fields
+// ignored) so a slightly newer coordinator can still feed an older worker.
+// Simulation progress flows through the progress callback, which the
+// coordinator republishes onto the job's SSE stream.
+func execGrant(ctx context.Context, g *dist.Grant, progress func(any)) ([]byte, error) {
+	var req jobRequest
+	if err := json.Unmarshal(g.Spec, &req); err != nil {
+		return nil, fmt.Errorf("decode spec: %w", err)
+	}
+	design, err := parseDesign(req.Design)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workload.Get(req.Game, req.Width, req.Height)
+	if err != nil {
+		return nil, err
+	}
+	opts := req.options(design)
+	if err := core.ValidateOptions(opts); err != nil {
+		return nil, err
+	}
+	if key := core.CacheKey(wl, opts); key != g.Key {
+		return nil, fmt.Errorf("spec keys to %q but lease granted %q (simulator version skew?)", key, g.Key)
+	}
+	opts.Progress = func(p core.Progress) { progress(p) }
+	start := time.Now()
+	res, err := core.RunCachedContext(ctx, wl, opts)
+	if err != nil {
+		return nil, err
+	}
+	slog.Default().Debug("job simulated", "job", g.Job, "key", g.Key,
+		"dur", time.Since(start).Round(time.Millisecond).String())
+	return core.EncodeResultPayload(res)
+}

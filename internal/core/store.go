@@ -214,6 +214,24 @@ func saveStoredResult(st *store.Store, key string, r *Result) {
 	_ = st.Put(key, man, payload)
 }
 
+// EncodeResultPayload serializes r as a self-contained
+// pim-render/result/v1 document — the same encoding store entries carry —
+// for transport between farm nodes. Distributed workers return their
+// results this way, so a coordinator decoding the payload reproduces
+// every aggregate bit-for-bit, exactly as a warm store hit would.
+func EncodeResultPayload(r *Result) ([]byte, error) {
+	_, payload, err := encodeStoredResult(r)
+	return payload, err
+}
+
+// DecodeResultPayload rebuilds a Result from a pim-render/result/v1
+// document, verifying the schema, simulator version, and that the
+// payload really describes key (the job's CacheKey) — a worker running a
+// different simulator revision is rejected rather than trusted.
+func DecodeResultPayload(key string, payload []byte) (*Result, error) {
+	return decodeStoredResult(key, payload)
+}
+
 // packWords encodes RGBA8 words as little-endian bytes (JSON base64 is ~3x
 // smaller than a numeric array, and gzip then compresses the raw bytes).
 func packWords(w []uint32) []byte {

@@ -1,0 +1,135 @@
+// Package dist splits the render farm across processes: a coordinator
+// owns the job queue and hands work to pull-based workers over an HTTP
+// lease protocol (POST /v1/leases grants a job with a TTL; periodic
+// renews keep it; an expired lease requeues the job for another worker),
+// and a durable append-only journal lets a restarted coordinator replay
+// queued jobs instead of losing them.
+//
+// Like internal/farm, the package is independent of the simulator: a Job
+// carries an opaque JSON spec and workers return an opaque byte payload,
+// so cmd/pimfarm supplies the encode/execute/decode glue (specs are its
+// jobRequest bodies; payloads are pim-render/result/v1 documents) without
+// an import cycle. The coordinator plugs in as the body of a farm Task's
+// Run closure: the farm keeps job lifecycle, SSE event streams, retry
+// budget, singleflight dedup, and the memory/store cache tiers; dist adds
+// only the process split and the wire protocol. Because workers execute
+// through core.RunCachedContext against a shared store directory, a
+// result computed on any node is a warm hit everywhere.
+package dist
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Job is one unit of distributed work handed to the coordinator.
+type Job struct {
+	// Key is the dedup/cache identity (core.CacheKey for render jobs).
+	// Informational on this layer — the farm above dedups on it — but
+	// carried to workers so their own caches key identically.
+	Key string
+	// Label names the job in grants and worker logs.
+	Label string
+	// Spec is the opaque job description a worker's Exec understands
+	// (cmd/pimfarm marshals its jobRequest here).
+	Spec json.RawMessage
+	// OnProgress, when non-nil, receives progress documents forwarded by
+	// the executing worker (raw JSON, published verbatim onto the farm
+	// job's SSE stream). Called from HTTP handler goroutines; must be
+	// safe for concurrent use and must not block.
+	OnProgress func(json.RawMessage)
+}
+
+// Outcome resolves one dispatched job.
+type Outcome struct {
+	// Payload is the worker-produced result document (nil on error).
+	Payload []byte
+	// Err is the worker-reported execution error ("" on success).
+	Err string
+	// Worker identifies the worker that resolved the job.
+	Worker string
+	// Requeues counts how many expired leases the job survived before
+	// this outcome.
+	Requeues int
+}
+
+// Wire types for the lease protocol. All bodies are JSON; error responses
+// everywhere are {"error": "..."} with a meaningful status code, matching
+// the rest of the pimfarm API.
+
+// LeaseRequest is the POST /v1/leases body: a worker asking for work.
+type LeaseRequest struct {
+	// Worker is the caller's self-chosen stable identity.
+	Worker string `json:"worker"`
+}
+
+// Grant is a granted lease: one job plus the TTL the worker must renew
+// within. A 204 response means the queue is empty.
+type Grant struct {
+	Lease string          `json:"lease"`
+	Job   string          `json:"job"`
+	Key   string          `json:"key,omitempty"`
+	Label string          `json:"label,omitempty"`
+	Spec  json.RawMessage `json:"spec"`
+	// TTLMillis is the lease duration; the worker should renew at a
+	// comfortable fraction of it (the bundled Worker renews at TTL/3).
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// TTL returns the grant's lease duration.
+func (g *Grant) TTL() time.Duration { return time.Duration(g.TTLMillis) * time.Millisecond }
+
+// RenewRequest is the POST /v1/leases/{id}/renew body (heartbeat).
+type RenewRequest struct {
+	Worker string `json:"worker"`
+}
+
+// ProgressRequest is the POST /v1/leases/{id}/progress body: one progress
+// document to forward onto the job's event stream.
+type ProgressRequest struct {
+	Worker string          `json:"worker"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// CompleteRequest is the POST /v1/leases/{id}/complete body: the job's
+// result payload (base64 over JSON) or execution error.
+type CompleteRequest struct {
+	Worker  string `json:"worker"`
+	Payload []byte `json:"payload,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// WorkerView is one worker's liveness record (the GET /v1/workers body
+// carries a list of these).
+type WorkerView struct {
+	ID        string    `json:"id"`
+	Live      bool      `json:"live"`
+	FirstSeen time.Time `json:"first_seen"`
+	LastSeen  time.Time `json:"last_seen"`
+	// ActiveLeases is how many leases the worker currently holds.
+	ActiveLeases int `json:"active_leases"`
+	// Completed / Failed count jobs the worker resolved; Expired counts
+	// leases the coordinator reclaimed from it.
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Expired   uint64 `json:"expired"`
+}
+
+// LeaseOps is the cumulative lease-operation counters (mirrored into the
+// pim_farm_lease_ops_total metric).
+type LeaseOps struct {
+	Grants   uint64 `json:"grants"`
+	Renews   uint64 `json:"renews"`
+	Expires  uint64 `json:"expires"`
+	Requeues uint64 `json:"requeues"`
+}
+
+// Stats is a point-in-time snapshot of coordinator state (the "workers"
+// block in pimfarm's /varz).
+type Stats struct {
+	Queued      int          `json:"queued"`
+	Leased      int          `json:"leased"`
+	WorkersLive int          `json:"workers_live"`
+	LeaseOps    LeaseOps     `json:"lease_ops"`
+	Workers     []WorkerView `json:"workers,omitempty"`
+}

@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalReplayAfterCrash is the crash-recovery contract: a journal
+// abandoned mid-queue (no Close, like a killed coordinator) reopens with
+// exactly the unsettled jobs pending — settled ones never replay, and
+// replaying then settling leaves nothing behind for a third incarnation.
+func TestJournalReplayAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	j1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		spec := json.RawMessage(fmt.Sprintf(`{"game":"doom3","n":%d}`, i))
+		id, err := j1.Enqueue(fmt.Sprintf("key-%d", i), fmt.Sprintf("job %d", i), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := j1.Terminal(ids[0], OpDone); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Terminal(ids[3], OpFailed); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close. The file handle stays open in j1 but a restarted
+	// process reads the same bytes.
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	pend := j2.Pending()
+	if len(pend) != 3 {
+		t.Fatalf("pending after restart = %d, want 3 (%+v)", len(pend), pend)
+	}
+	want := []string{ids[1], ids[2], ids[4]}
+	for i, rec := range pend {
+		if rec.ID != want[i] {
+			t.Errorf("pending[%d] = %s, want %s", i, rec.ID, want[i])
+		}
+		if rec.Op != OpEnqueue || len(rec.Spec) == 0 || rec.Key == "" {
+			t.Errorf("pending[%d] incomplete: %+v", i, rec)
+		}
+	}
+
+	// Settle the survivors exactly once; the next incarnation replays none.
+	for _, rec := range pend {
+		if err := j2.Terminal(rec.ID, OpDone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j2.Close()
+	j3, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if n := j3.Len(); n != 0 {
+		t.Fatalf("pending after full settle = %d, want 0", n)
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a partial final line;
+// open discards it (and only it) and later appends stay parseable.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := j1.Enqueue("k", "job", json.RawMessage(`{"a":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":"pim-render/journal/v1","seq":2,"op":"done","id":"` + id); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := j2.Len(); n != 1 {
+		t.Fatalf("pending with torn terminal = %d, want 1 (torn line must not settle)", n)
+	}
+	// The torn tail was truncated: a fresh append must parse on reopen.
+	if err := j2.Terminal(id, OpDone); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if n := j3.Len(); n != 0 {
+		t.Fatalf("pending after post-truncation terminal = %d, want 0", n)
+	}
+}
+
+// TestJournalCompaction: settling far more jobs than stay pending
+// triggers the atomic rewrite, which keeps only pending records and
+// survives a reopen.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := j.Enqueue("keep", "keeper", json.RawMessage(`{"keep":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < compactMinTerminal+8; i++ {
+		id, err := j.Enqueue("k", "churn", json.RawMessage(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Terminal(id, OpDone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.mu.Lock()
+	compacts, settled := j.compacts, j.settled
+	j.mu.Unlock()
+	if compacts == 0 {
+		t.Fatal("no compaction despite heavy churn")
+	}
+	if settled >= compactMinTerminal {
+		t.Fatalf("settled count %d not reset by compaction", settled)
+	}
+	fi, err := os.Stat(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A couple of live lines at most; the churn was hundreds of records.
+	if fi.Size() > 4096 {
+		t.Fatalf("journal still %d bytes after compaction", fi.Size())
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	pend := j2.Pending()
+	if len(pend) != 1 || pend[0].ID != keep {
+		t.Fatalf("pending after compaction+reopen = %+v, want just %s", pend, keep)
+	}
+}
+
+// TestJournalForeignRecordsIgnored: records from a future schema replay
+// as no-ops instead of failing the open.
+func TestJournalForeignRecordsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, journalFile)
+	lines := `{"schema":"pim-render/journal/v2","seq":1,"op":"enqueue","id":"future"}
+{"schema":"pim-render/journal/v1","seq":2,"op":"enqueue","id":"j-00000002","key":"k","spec":{}}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	pend := j.Pending()
+	if len(pend) != 1 || pend[0].ID != "j-00000002" {
+		t.Fatalf("pending = %+v, want only the v1 record", pend)
+	}
+}

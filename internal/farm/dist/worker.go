@@ -1,0 +1,210 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/obs/slogx"
+)
+
+// DefaultPoll is the idle poll interval between lease attempts when the
+// coordinator reports an empty queue or is unreachable.
+const DefaultPoll = 500 * time.Millisecond
+
+// progressMinInterval throttles progress forwarding: simulation progress
+// callbacks fire per tile group, far faster than the coordinator needs.
+const progressMinInterval = 100 * time.Millisecond
+
+// ExecFunc executes one granted job and returns its result payload.
+// ctx is canceled when the lease is lost (expired or the job was
+// canceled upstream) — execution should stop promptly. progress may be
+// called freely; the worker throttles and forwards it to the
+// coordinator.
+type ExecFunc func(ctx context.Context, g *Grant, progress func(any)) ([]byte, error)
+
+// Worker pulls leases from a coordinator and executes them. One Worker
+// runs Slots concurrent lease loops; each loop leases, heartbeats at a
+// third of the TTL while executing, and reports completion. cmd/pimfarm
+// runs one Worker per `pimfarm worker` process, with an ExecFunc that
+// decodes the job spec and simulates through core.RunCachedContext — so
+// pointing workers at a shared -store directory makes every node's
+// results warm hits everywhere.
+type Worker struct {
+	// Client speaks to the coordinator; required.
+	Client *Client
+	// Exec executes granted jobs; required.
+	Exec ExecFunc
+	// Slots is the number of concurrent leases; <= 0 selects 1.
+	Slots int
+	// Poll is the idle/retry interval; <= 0 selects DefaultPoll.
+	Poll time.Duration
+	// Log receives worker lifecycle lines; nil discards.
+	Log *slog.Logger
+}
+
+// Run pulls and executes jobs until ctx is canceled. It returns ctx's
+// error; a dead coordinator is retried at the poll interval, never fatal
+// (the farm may restart while workers stay up — journal replay refills
+// the queue they draw from).
+func (w *Worker) Run(ctx context.Context) error {
+	slots := w.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	log := w.Log
+	if log == nil {
+		log = slogx.Discard()
+	}
+	var wg sync.WaitGroup
+	wg.Add(slots)
+	for i := 0; i < slots; i++ {
+		go func(slot int) {
+			defer wg.Done()
+			w.loop(ctx, slot, poll, log)
+		}(i)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// loop is one lease slot: lease, execute, complete, repeat.
+func (w *Worker) loop(ctx context.Context, slot int, poll time.Duration, log *slog.Logger) {
+	for ctx.Err() == nil {
+		g, err := w.Client.Lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			log.Warn("lease request failed", "slot", slot, "err", err.Error())
+			sleep(ctx, poll)
+			continue
+		}
+		if g == nil {
+			sleep(ctx, poll)
+			continue
+		}
+		log.Info("leased", "slot", slot, "lease", g.Lease, "job", g.Job, "label", g.Label)
+		w.runLease(ctx, g, log)
+	}
+}
+
+// runLease executes one grant under a heartbeat. The lease is renewed at
+// TTL/3; a renew answered ErrGone cancels the execution context (the
+// coordinator gave the job to someone else or it was canceled), and the
+// result — if any — is not reported.
+func (w *Worker) runLease(ctx context.Context, g *Grant, log *slog.Logger) {
+	execCtx, cancelExec := context.WithCancel(ctx)
+	defer cancelExec()
+
+	var lost bool
+	var mu sync.Mutex
+	heartbeatDone := make(chan struct{})
+	interval := g.TTL() / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(heartbeatDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-execCtx.Done():
+				return
+			case <-t.C:
+				if err := w.Client.Renew(ctx, g.Lease); err != nil {
+					if IsGone(err) {
+						mu.Lock()
+						lost = true
+						mu.Unlock()
+						log.Warn("lease lost", "lease", g.Lease, "job", g.Job)
+						cancelExec()
+						return
+					}
+					// Transient coordinator trouble: keep heartbeating —
+					// the TTL gives several attempts before expiry.
+					log.Warn("renew failed", "lease", g.Lease, "err", err.Error())
+				}
+			}
+		}
+	}()
+
+	payload, execErr := w.Exec(execCtx, g, w.progressFunc(ctx, g))
+	cancelExec()
+	<-heartbeatDone
+
+	mu.Lock()
+	wasLost := lost
+	mu.Unlock()
+	if wasLost {
+		return // coordinator moved on; drop the result
+	}
+	errStr := ""
+	if execErr != nil {
+		errStr = execErr.Error()
+	}
+	// Report completion with the parent context (exec cancellation must
+	// not block the report); a few retries smooth over transient network
+	// trouble, and ErrGone means the expiry beat us — nothing to do.
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = w.Client.Complete(ctx, g.Lease, payload, errStr); err == nil || IsGone(err) || ctx.Err() != nil {
+			break
+		}
+		sleep(ctx, time.Duration(attempt+1)*200*time.Millisecond)
+	}
+	switch {
+	case err == nil:
+		log.Info("completed", "lease", g.Lease, "job", g.Job, "error", errStr)
+	case IsGone(err):
+		log.Warn("completion discarded (lease expired)", "lease", g.Lease, "job", g.Job)
+	default:
+		log.Error("completion report failed", "lease", g.Lease, "err", err.Error())
+	}
+}
+
+// progressFunc builds the throttled progress forwarder for one lease.
+func (w *Worker) progressFunc(ctx context.Context, g *Grant) func(any) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(data any) {
+		mu.Lock()
+		now := time.Now()
+		if now.Sub(last) < progressMinInterval {
+			mu.Unlock()
+			return
+		}
+		last = now
+		mu.Unlock()
+		// Best-effort: progress is cosmetic and must never stall the
+		// simulation; a lost event only thins the SSE stream.
+		pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_ = w.Client.Progress(pctx, g.Lease, data)
+		cancel()
+	}
+}
+
+// sleep waits d or until ctx is canceled.
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// String identifies the worker in logs.
+func (w *Worker) String() string {
+	if w.Client == nil {
+		return "dist.Worker"
+	}
+	return fmt.Sprintf("dist.Worker(%s → %s)", w.Client.Worker, w.Client.Base)
+}

@@ -1,0 +1,251 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs/telem"
+)
+
+func testWire(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = telem.NewRegistry()
+	}
+	c := NewCoordinator(cfg)
+	mux := http.NewServeMux()
+	c.Routes(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		c.Close()
+	})
+	return c, ts
+}
+
+// TestWorkerPullLoop drives the full wire protocol: jobs enqueued on the
+// coordinator are leased over HTTP by a Worker, executed, and their
+// payloads delivered back to the enqueuer — including worker-side
+// progress documents landing on the OnProgress sink.
+func TestWorkerPullLoop(t *testing.T) {
+	c, ts := testWire(t, Config{TTL: time.Minute})
+
+	var progressed atomic.Int64
+	const jobs = 4
+	chans := make([]<-chan Outcome, jobs)
+	for i := 0; i < jobs; i++ {
+		_, ch, err := c.Enqueue(Job{
+			Key:        fmt.Sprintf("key-%d", i),
+			Label:      fmt.Sprintf("job %d", i),
+			Spec:       json.RawMessage(fmt.Sprintf(`{"n":%d}`, i)),
+			OnProgress: func(json.RawMessage) { progressed.Add(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &Worker{
+		Client: &Client{Base: ts.URL, Worker: "test-worker"},
+		Slots:  2,
+		Poll:   10 * time.Millisecond,
+		Exec: func(ctx context.Context, g *Grant, progress func(any)) ([]byte, error) {
+			progress(map[string]any{"stage": "go", "job": g.Job})
+			var spec struct {
+				N int `json:"n"`
+			}
+			if err := json.Unmarshal(g.Spec, &spec); err != nil {
+				return nil, err
+			}
+			return []byte(fmt.Sprintf("result-%d", spec.N)), nil
+		},
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	for i, ch := range chans {
+		o := waitOutcome(t, ch, 10*time.Second)
+		if o.Err != "" {
+			t.Fatalf("job %d failed: %s", i, o.Err)
+		}
+		if string(o.Payload) != fmt.Sprintf("result-%d", i) {
+			t.Fatalf("job %d payload = %q", i, o.Payload)
+		}
+		if o.Worker != "test-worker" {
+			t.Fatalf("job %d worker = %q", i, o.Worker)
+		}
+	}
+	if progressed.Load() == 0 {
+		t.Fatal("no progress documents forwarded")
+	}
+
+	views := c.Workers()
+	if len(views) != 1 || views[0].ID != "test-worker" || !views[0].Live {
+		t.Fatalf("workers = %+v", views)
+	}
+	if views[0].Completed != jobs {
+		t.Fatalf("worker completed = %d, want %d", views[0].Completed, jobs)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not stop on context cancel")
+	}
+}
+
+// TestWorkerHeartbeatOutlivesTTL: a job that takes several TTLs completes
+// on the original worker because the heartbeat keeps renewing — the lease
+// must not expire under a live worker.
+func TestWorkerHeartbeatOutlivesTTL(t *testing.T) {
+	c, ts := testWire(t, Config{TTL: 120 * time.Millisecond, SweepEvery: 20 * time.Millisecond})
+	_, ch, err := c.Enqueue(Job{Label: "slow", Spec: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &Worker{
+		Client: &Client{Base: ts.URL, Worker: "slowpoke"},
+		Poll:   10 * time.Millisecond,
+		Exec: func(ctx context.Context, g *Grant, progress func(any)) ([]byte, error) {
+			select {
+			case <-time.After(500 * time.Millisecond): // ~4 TTLs
+				return []byte("slow-ok"), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	}
+	go w.Run(ctx)
+
+	o := waitOutcome(t, ch, 10*time.Second)
+	if o.Err != "" || string(o.Payload) != "slow-ok" {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if o.Requeues != 0 {
+		t.Fatalf("live worker's lease expired %d times", o.Requeues)
+	}
+	st := c.Stats()
+	if st.LeaseOps.Renews == 0 {
+		t.Fatal("no renews recorded for a multi-TTL job")
+	}
+	if st.LeaseOps.Expires != 0 {
+		t.Fatalf("lease expired under a heartbeating worker: %+v", st.LeaseOps)
+	}
+}
+
+// TestWorkerAbortsOnLostLease: when the job is abandoned (canceled
+// upstream), the worker's renew discovers the lease is gone and the exec
+// context is canceled promptly.
+func TestWorkerAbortsOnLostLease(t *testing.T) {
+	c, ts := testWire(t, Config{TTL: 90 * time.Millisecond, SweepEvery: 15 * time.Millisecond})
+	id, _, err := c.Enqueue(Job{Label: "doomed", Spec: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	aborted := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &Worker{
+		Client: &Client{Base: ts.URL, Worker: "victim"},
+		Poll:   10 * time.Millisecond,
+		Exec: func(ctx context.Context, g *Grant, progress func(any)) ([]byte, error) {
+			close(started)
+			select {
+			case <-ctx.Done():
+				close(aborted)
+				return nil, ctx.Err()
+			case <-time.After(30 * time.Second):
+				return []byte("should never finish"), nil
+			}
+		},
+	}
+	go w.Run(ctx)
+
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never started the job")
+	}
+	c.Abandon(id)
+	select {
+	case <-aborted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker kept executing after its lease was abandoned")
+	}
+}
+
+// TestWorkerReportsExecErrors: execution failures travel back as Outcome
+// errors, and the worker view counts them as failed.
+func TestWorkerReportsExecErrors(t *testing.T) {
+	c, ts := testWire(t, Config{TTL: time.Minute})
+	_, ch, err := c.Enqueue(Job{Label: "broken", Spec: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &Worker{
+		Client: &Client{Base: ts.URL, Worker: "honest"},
+		Poll:   10 * time.Millisecond,
+		Exec: func(ctx context.Context, g *Grant, progress func(any)) ([]byte, error) {
+			return nil, fmt.Errorf("synthetic failure")
+		},
+	}
+	go w.Run(ctx)
+
+	o := waitOutcome(t, ch, 10*time.Second)
+	if o.Err != "synthetic failure" {
+		t.Fatalf("outcome err = %q", o.Err)
+	}
+	views := c.Workers()
+	if len(views) != 1 || views[0].Failed != 1 {
+		t.Fatalf("workers = %+v", views)
+	}
+}
+
+// TestHTTPErrorShapes: the lease endpoints answer JSON error bodies with
+// the documented status codes (400 on bad bodies, 410 on lost leases,
+// 204 on an empty queue).
+func TestHTTPErrorShapes(t *testing.T) {
+	_, ts := testWire(t, Config{TTL: time.Minute})
+
+	post := func(path, body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&m)
+		return resp.StatusCode, m
+	}
+
+	if code, _ := post("/v1/leases", `{"worker":"w"}`); code != http.StatusNoContent {
+		t.Fatalf("empty-queue lease status = %d, want 204", code)
+	}
+	if code, m := post("/v1/leases", `{"worker":`); code != http.StatusBadRequest || m["error"] == "" {
+		t.Fatalf("bad body: status %d body %v, want 400 with error", code, m)
+	}
+	if code, m := post("/v1/leases/nope/renew", `{"worker":"w"}`); code != http.StatusGone || m["error"] == "" {
+		t.Fatalf("unknown lease renew: status %d body %v, want 410 with error", code, m)
+	}
+	if code, m := post("/v1/leases/nope/complete", `{"worker":"w"}`); code != http.StatusGone || m["error"] == "" {
+		t.Fatalf("unknown lease complete: status %d body %v, want 410 with error", code, m)
+	}
+}

@@ -129,11 +129,11 @@ func TestReportSelfContained(t *testing.T) {
 
 func TestMeterFamily(t *testing.T) {
 	cases := map[string]string{
-		"hmc.link.tx":       "hmc link tx",
-		"hmc.vault07.tsv":   "hmc vaults (tsv)",
-		"cube3.hmc.link.rx": "hmc link rx",
+		"hmc.link.tx":           "hmc link tx",
+		"hmc.vault07.tsv":       "hmc vaults (tsv)",
+		"cube3.hmc.link.rx":     "hmc link rx",
 		"cube0.hmc.vault00.tsv": "hmc vaults (tsv)",
-		"dram.ch05.bus": "dram bus",
+		"dram.ch05.bus":         "dram bus",
 	}
 	for in, want := range cases {
 		if got := meterFamily(in); got != want {

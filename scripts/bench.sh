@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
-# Runs the perf-trajectory benchmarks and writes BENCH_pr6.json: one record
+# Runs the perf-trajectory benchmarks and writes BENCH_pr7.json: one record
 # per benchmark with ns/op, so the perf trajectory across PRs is
 # machine-readable.
 #
-# Two families:
+# Three families:
 #   - BenchmarkSimulateShards{1,2,8}: one uncached single-frame simulation
 #     per iteration with the tile-group scan sharded across N worker
 #     goroutines. Output is byte-identical at every shard count, so
@@ -13,11 +13,16 @@
 #   - BenchmarkFarmSweep{Serial,Parallel,ColdStore,WarmStore}: the PR3
 #     sweep-level numbers (farm scheduling + durable store), kept for
 #     continuity.
+#   - BenchmarkLeaseRoundTrip / BenchmarkDistFarmThroughput: the PR7
+#     distributed numbers. LeaseRoundTrip is the per-job wire-protocol
+#     floor (no-op executor); DistFarmThroughput pushes 8 distinct render
+#     jobs through a coordinator + 2 workers per iteration and also
+#     reports jobs/s.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
-out=${1:-BENCH_pr6.json}
+out=${1:-BENCH_pr7.json}
 cd "$(dirname "$0")/.."
 
 go test -run '^$' -bench 'BenchmarkSimulateShards[128]$' \
@@ -27,6 +32,14 @@ go test -run '^$' -bench 'BenchmarkSimulateShards[128]$' \
 go test -run '^$' -bench 'BenchmarkFarmSweep(Serial|Parallel|ColdStore|WarmStore)$' \
     -benchtime "${BENCHTIME:-1x}" -count "${COUNT:-1}" -timeout 30m \
     ./internal/farm/ | tee -a /tmp/bench_pr4.txt
+
+go test -run '^$' -bench 'BenchmarkLeaseRoundTrip$' \
+    -benchtime "${BENCHTIME:-100x}" -count "${COUNT:-1}" -timeout 30m \
+    ./internal/farm/dist/ | tee -a /tmp/bench_pr4.txt
+
+go test -run '^$' -bench 'BenchmarkDistFarmThroughput$' \
+    -benchtime "${BENCHTIME:-1x}" -count "${COUNT:-1}" -timeout 30m \
+    ./cmd/pimfarm/ | tee -a /tmp/bench_pr4.txt
 
 awk '
 /^Benchmark/ {
