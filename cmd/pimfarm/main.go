@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/farm/admit"
 	"repro/internal/farm/dist"
 	"repro/internal/obs"
 	"repro/internal/obs/slogx"
@@ -65,6 +66,13 @@ func main() {
 		distMode  = flag.Bool("dist", false, "coordinator mode: lease jobs to `pimfarm worker` processes instead of simulating in-process")
 		leaseTTL  = flag.Duration("lease-ttl", dist.DefaultTTL, "dist: lease duration; a worker silent this long loses its job back to the queue")
 		journal   = flag.String("journal", "", "dist: durable job-journal directory; queued and in-flight jobs replay after a coordinator restart")
+
+		tenants      = flag.String("tenants", "", "tenant config file (pim-render/tenants/v1 JSON: API keys, rate limits, quotas); empty admits any tenant unlimited")
+		admitSlots   = flag.Int("admit-slots", 0, "admission slots: jobs concurrently inside the farm (0 = worker pool size)")
+		admitQueue   = flag.Int("admit-queue", 0, "per-class admission queue depth (0 = -queue)")
+		admitTimeout = flag.Duration("admit-timeout", 30*time.Second, "max wait in the admission queue before a submission is shed with 429")
+		profileTTL   = flag.Duration("profile-ttl", 15*time.Minute, "prune finished jobs' frame-anatomy profile artifacts after this age (<= 0 keeps them for the job's lifetime)")
+		eventTTL     = flag.Duration("event-ttl", farm.DefaultEventRetention, "compact finished jobs' SSE replay history after this age (negative disables)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -124,17 +132,45 @@ func main() {
 		farmWorkers = 64
 	}
 	f := farm.New(farm.Config{
-		Workers:    farmWorkers,
-		QueueDepth: *queue,
-		CacheCap:   *cachecap,
-		Retries:    *retries,
-		Tracer:     tracer,
-		Tier:       core.StoreTier(st),
+		Workers:        farmWorkers,
+		QueueDepth:     *queue,
+		CacheCap:       *cachecap,
+		Retries:        *retries,
+		Tracer:         tracer,
+		Tier:           core.StoreTier(st),
+		EventRetention: *eventTTL,
 	})
 
 	api := newServer(f, st)
 	api.log = log
 	api.pprofOn = *pprofOn
+	api.profileTTL = *profileTTL
+
+	// Admission control always fronts submissions; without -tenants it
+	// runs with an open tenant set (any name, no rate or quota limits), so
+	// the only behavioral change is that queueing moves from the farm's
+	// FIFO channel to the admission layer's class-ordered queues.
+	ts := admit.OpenTenants()
+	if *tenants != "" {
+		var err error
+		ts, err = admit.LoadTenants(*tenants)
+		if err != nil {
+			fatal(err)
+		}
+		log.Info("tenants loaded", "path", *tenants, "tenants", ts.Len())
+	}
+	slots := *admitSlots
+	if slots <= 0 {
+		slots = f.Workers()
+	}
+	aq := *admitQueue
+	if aq <= 0 {
+		aq = *queue
+	}
+	adm := admit.New(admit.Config{Slots: slots, QueueDepth: aq, Tenants: ts})
+	api.enableAdmit(adm, *admitTimeout)
+	log.Info("admission control", "slots", slots, "queue_depth", aq,
+		"timeout", admitTimeout.String(), "tenants", *tenants != "")
 	var coord *dist.Coordinator
 	if *distMode {
 		coord = dist.NewCoordinator(dist.Config{TTL: *leaseTTL})
@@ -178,6 +214,7 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Error("http shutdown", "err", err.Error())
 	}
+	adm.Close()
 	if err := f.Close(ctx); err != nil {
 		log.Error("forced farm shutdown", "err", err.Error())
 	}

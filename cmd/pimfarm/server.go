@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/farm"
+	"repro/internal/farm/admit"
 	"repro/internal/farm/dist"
 	"repro/internal/obs"
 	"repro/internal/obs/slogx"
@@ -55,6 +58,25 @@ type jobRequest struct {
 	// artifact becomes available at GET /v1/jobs/{id}/profile. Runtime-only
 	// like Shards: excluded from the dedup key and from stored results.
 	Profile bool `json:"profile,omitempty"`
+
+	// Class is the admission priority class: "interactive" submissions are
+	// admitted (and, in dist mode, leased) ahead of queued "batch" work.
+	// Empty infers batch for multi-frame sweeps and interactive otherwise.
+	// Scheduling-only like Shards: excluded from the dedup key, so equal
+	// jobs submitted at different priorities still collapse.
+	Class string `json:"class,omitempty"`
+}
+
+// class resolves the request's admission class, inferring one when unset:
+// a multi-frame sweep is batch work, a single frame is interactive.
+func (r *jobRequest) class() (admit.Class, error) {
+	if r.Class == "" {
+		if r.Frames > 1 {
+			return admit.Batch, nil
+		}
+		return admit.Interactive, nil
+	}
+	return admit.ParseClass(r.Class)
 }
 
 // options converts the request to simulator options.
@@ -102,10 +124,28 @@ type server struct {
 	coord   *dist.Coordinator
 	journal *dist.Journal
 
+	// admit, when set (enableAdmit), gates every POST /v1/jobs through
+	// multi-tenant admission control: per-tenant rate limits and quotas,
+	// class-ordered bounded queueing, and 429 + Retry-After load shedding.
+	// admitTimeout bounds how long one submission may park in the
+	// admission queue before it is shed as queue-full.
+	admit        *admit.Controller
+	admitTimeout time.Duration
+
 	// profiles holds captured frame-anatomy artifacts keyed by job ID
 	// (jobs submitted with "profile": true that really simulated). Entries
-	// for jobs the farm no longer retains are pruned on each store.
-	profiles sync.Map // string -> *obs.FrameProfile
+	// are pruned once the farm no longer retains the job, or — when
+	// profileTTL is positive — once they outlive the TTL; pruning runs on
+	// every store and read, so the map is bounded without a janitor.
+	profiles   sync.Map // string -> profileEntry
+	profileTTL time.Duration
+}
+
+// profileEntry is one retained frame-anatomy artifact plus its capture
+// time (the TTL clock).
+type profileEntry struct {
+	fp *obs.FrameProfile
+	at time.Time
 }
 
 // newServer builds the API handler (httptest mounts it directly); st may be
@@ -146,6 +186,23 @@ func newServer(f *farm.Farm, st *store.Store) *server {
 	return s
 }
 
+// enableAdmit puts the admission controller in front of job submission.
+// timeout bounds the in-queue wait per submission (<= 0 selects
+// DefaultAdmitTimeout). Admission is scheduling-only: it decides when and
+// whether a job enters the farm, never what it computes, so results stay
+// byte-identical to an unadmitted run.
+func (s *server) enableAdmit(c *admit.Controller, timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = DefaultAdmitTimeout
+	}
+	s.admit = c
+	s.admitTimeout = timeout
+}
+
+// DefaultAdmitTimeout bounds how long a submission may wait in the
+// admission queue before it is shed with 429.
+const DefaultAdmitTimeout = 30 * time.Second
+
 // enableDist attaches the distributed coordinator: the lease-protocol and
 // worker-introspection endpoints are mounted on the server mux (inheriting
 // the X-Request-ID / request-log middleware) and every subsequently built
@@ -160,16 +217,51 @@ func (s *server) enableDist(c *dist.Coordinator) {
 	s.mux.HandleFunc("/v1/workers", methodNotAllowed("GET"))
 }
 
-// ServeHTTP stamps every request with an ID (also answered in
-// X-Request-ID), carries a request-scoped logger in the context, and logs
-// one structured line per request with the status and duration.
+// reqIDKey carries the request ID in the request context so error bodies
+// (httpError) can echo it without replumbing every handler signature.
+type reqIDKey struct{}
+
+// requestID returns the ID ServeHTTP assigned this request ("" outside
+// the middleware, e.g. direct handler tests).
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(reqIDKey{}).(string)
+	return id
+}
+
+// sanitizeRequestID validates a client-supplied X-Request-ID: short and
+// header/log-safe, or "" to mint a fresh one.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// ServeHTTP stamps every request with an ID — honoring a well-formed
+// client-supplied X-Request-ID so callers can correlate retries — answers
+// it in the X-Request-ID response header and in every JSON error body,
+// carries a request-scoped logger in the context, and logs one structured
+// line per request with the status and duration.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
+	reqID := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+	if reqID == "" {
+		reqID = fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
+	}
 	log := s.log.With("req", reqID)
 	w.Header().Set("X-Request-ID", reqID)
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
-	r = r.WithContext(slogx.WithLogger(r.Context(), log))
+	ctx := context.WithValue(slogx.WithLogger(r.Context(), log), reqIDKey{}, reqID)
+	r = r.WithContext(ctx)
 	s.mux.ServeHTTP(sw, r)
 	log.Info("request", "method", r.Method, "path", r.URL.Path,
 		"status", sw.status, "dur", time.Since(start).Round(time.Microsecond).String())
@@ -208,30 +300,72 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	task, err := s.buildTask(&req, w.Header().Get("X-Request-ID"))
+	class, err := req.class()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, r, http.StatusBadRequest, err)
 		return
+	}
+	task, err := s.buildTask(&req, requestID(r))
+	if err != nil {
+		httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	task.Class = class.String()
+
+	// Admission: authenticate the tenant, then hold a slot (parking in the
+	// class-ordered queue under load). Rejections — over rate, over quota,
+	// queue full, or wait timed out — shed with 429 + Retry-After before
+	// the job is journaled or enters the farm. The ticket is held until
+	// the job settles, so per-tenant quotas bound work in flight, not
+	// merely submissions.
+	var ticket *admit.Ticket
+	if s.admit != nil {
+		tenant, err := s.resolveTenant(r)
+		if err != nil {
+			httpError(w, r, http.StatusUnauthorized, err)
+			return
+		}
+		actx, cancel := context.WithTimeout(r.Context(), s.admitTimeout)
+		ticket, err = s.admit.Admit(actx, tenant, class)
+		cancel()
+		if err != nil {
+			writeOverload(w, r, err)
+			return
+		}
+		task.Tenant = ticket.Tenant()
+		task.AdmitWait = ticket.Wait()
 	}
 
 	// Bound the wait for queue space so a saturated farm sheds load with
-	// 503 instead of hanging the client.
+	// 503 instead of hanging the client. (With admission in front the farm
+	// queue stays shallow — queueing happens at the admission layer, where
+	// priority ordering applies.)
 	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
 	defer cancel()
 	job, err := s.submit(ctx, task, &req)
 	if err != nil {
+		if ticket != nil {
+			ticket.Release()
+		}
 		switch {
 		case errors.Is(err, farm.ErrClosed), errors.Is(err, farm.ErrShutdown):
-			httpError(w, http.StatusServiceUnavailable, errors.New("farm is shutting down"))
+			httpError(w, r, http.StatusServiceUnavailable, errors.New("farm is shutting down"))
 		case errors.Is(err, context.DeadlineExceeded):
-			httpError(w, http.StatusServiceUnavailable, errors.New("job queue is full"))
+			httpError(w, r, http.StatusServiceUnavailable, errors.New("job queue is full"))
 		default:
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, r, http.StatusInternalServerError, err)
 		}
 		return
+	}
+	if ticket != nil {
+		t := ticket
+		go func() {
+			<-job.Done()
+			t.Release()
+		}()
 	}
 
 	// ?wait=true turns the submit synchronous: the response carries the
@@ -240,13 +374,52 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") == "true" {
 		if _, err := job.Wait(r.Context()); err != nil && r.Context().Err() != nil {
 			s.farm.Cancel(job.ID())
-			httpError(w, http.StatusRequestTimeout, fmt.Errorf("client went away: %w", err))
+			httpError(w, r, http.StatusRequestTimeout, fmt.Errorf("client went away: %w", err))
 			return
 		}
 		s.writeJob(w, http.StatusOK, job)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobResponse{View: job.View(), Request: &req})
+}
+
+// resolveTenant authenticates the submission against the admission
+// controller's tenant set: an API key from "Authorization: Bearer <key>"
+// (key wins), or a bare ?tenant= name for unkeyed/dev tenants.
+func (s *server) resolveTenant(r *http.Request) (*admit.Tenant, error) {
+	var key string
+	if h := r.Header.Get("Authorization"); h != "" {
+		bearer, ok := strings.CutPrefix(h, "Bearer ")
+		if !ok {
+			return nil, errors.New("authorization header must be \"Bearer <api-key>\"")
+		}
+		key = strings.TrimSpace(bearer)
+	}
+	return s.admit.Tenants().Authorize(key, r.URL.Query().Get("tenant"))
+}
+
+// writeOverload renders an admission rejection: HTTP 429 with a
+// Retry-After header (whole seconds, rounded up) and a machine-readable
+// body carrying the precise back-off and reason.
+func writeOverload(w http.ResponseWriter, r *http.Request, err error) {
+	var oe *admit.OverloadError
+	if !errors.As(err, &oe) {
+		httpError(w, r, http.StatusServiceUnavailable, err)
+		return
+	}
+	secs := int(math.Ceil(oe.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":          oe.Error(),
+		"reason":         oe.Reason.String(),
+		"tenant":         oe.Tenant,
+		"class":          oe.Class.String(),
+		"retry_after_ms": oe.RetryAfter.Milliseconds(),
+		"request_id":     requestID(r),
+	})
 }
 
 // buildTask validates req and assembles the farm task. The Run closure
@@ -332,11 +505,13 @@ func (s *server) distRun(req *jobRequest, key, label string) func(context.Contex
 			return nil, fmt.Errorf("dist: encode spec: %w", err)
 		}
 		var onProgress func(json.RawMessage)
+		var class string
 		if j, ok := farm.JobFromContext(runCtx); ok {
 			onProgress = func(raw json.RawMessage) { j.Publish("progress", raw) }
+			class = j.Class()
 		}
 		id, ch, err := s.coord.Enqueue(dist.Job{
-			Key: key, Label: label, Spec: spec, OnProgress: onProgress,
+			Key: key, Label: label, Class: class, Spec: spec, OnProgress: onProgress,
 		})
 		if err != nil {
 			return nil, err
@@ -461,7 +636,7 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.farm.Job(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	s.writeJob(w, http.StatusOK, j)
@@ -474,11 +649,11 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.farm.Job(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
 	if !s.farm.Cancel(id) {
-		httpError(w, http.StatusConflict,
+		httpError(w, r, http.StatusConflict,
 			fmt.Errorf("job %s already %s", id, j.State()))
 		return
 	}
@@ -507,20 +682,39 @@ func (s *server) writeJob(w http.ResponseWriter, status int, j *farm.Job) {
 }
 
 // storeProfile records a finished job's frame-anatomy artifact and prunes
-// entries for jobs the farm has since evicted (bounding the map by the
-// farm's own retention policy).
+// stale entries (see pruneProfiles).
 func (s *server) storeProfile(id string, fp *obs.FrameProfile) {
+	s.pruneProfiles()
+	s.profiles.Store(id, profileEntry{fp: fp, at: time.Now()})
+}
+
+// pruneProfiles drops retained profile artifacts for jobs the farm has
+// since evicted and — when a profile TTL is configured — artifacts of
+// terminal jobs older than the TTL, so long-retained finished jobs stop
+// pinning their (large) frame-anatomy documents. Called from every store
+// and read, which bounds the map without a background janitor.
+func (s *server) pruneProfiles() {
 	live := map[string]bool{}
 	for _, j := range s.farm.Jobs() {
 		live[j.ID()] = true
 	}
-	s.profiles.Range(func(k, _ any) bool {
-		if !live[k.(string)] {
+	var cut time.Time
+	if s.profileTTL > 0 {
+		cut = time.Now().Add(-s.profileTTL)
+	}
+	s.profiles.Range(func(k, v any) bool {
+		id := k.(string)
+		if !live[id] {
 			s.profiles.Delete(k)
+			return true
+		}
+		if e := v.(profileEntry); !cut.IsZero() && e.at.Before(cut) {
+			if j, ok := s.farm.Job(id); ok && j.State().Terminal() {
+				s.profiles.Delete(k)
+			}
 		}
 		return true
 	})
-	s.profiles.Store(id, fp)
 }
 
 // handleProfile is GET /v1/jobs/{id}/profile: the job's captured
@@ -530,16 +724,17 @@ func (s *server) storeProfile(id string, fp *obs.FrameProfile) {
 func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.farm.Job(id); !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
+	s.pruneProfiles()
 	v, ok := s.profiles.Load(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf(
-			"no profile for job %s (submit with \"profile\": true; profiles are captured only when the job simulates rather than hitting a cache tier)", id))
+		httpError(w, r, http.StatusNotFound, fmt.Errorf(
+			"no profile for job %s (submit with \"profile\": true; profiles are captured only when the job simulates rather than hitting a cache tier, and expire after the server's profile TTL)", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, v)
+	writeJSON(w, http.StatusOK, v.(profileEntry).fp)
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -557,6 +752,9 @@ func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		// liveness); the key cannot be "workers" because farm.Counters
 		// already publishes its pool size there.
 		Dist *dist.Stats `json:"dist,omitempty"`
+		// Admit is the admission-control view: free slots, per-class queue
+		// depths and waiters, and per-tenant in-flight holds.
+		Admit *admit.Stats `json:"admit,omitempty"`
 	}{
 		Counters: s.farm.Counters(),
 		RunCache: core.RunCacheCounters(),
@@ -569,6 +767,10 @@ func (s *server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	if s.coord != nil {
 		st := s.coord.Stats()
 		resp.Dist = &st
+	}
+	if s.admit != nil {
+		st := s.admit.Stats()
+		resp.Admit = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -631,12 +833,12 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.farm.Job(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		httpError(w, r, http.StatusInternalServerError, errors.New("streaming unsupported"))
 		return
 	}
 	events, unsubscribe := j.Subscribe()
@@ -691,7 +893,7 @@ func writeSSE(w io.Writer, typ string, seq int64, data any) {
 // profiling endpoints are never exposed by accident.
 func (s *server) handlePprof(w http.ResponseWriter, r *http.Request) {
 	if !s.pprofOn {
-		httpError(w, http.StatusNotFound, errors.New("profiling disabled (start pimfarm with -pprof)"))
+		httpError(w, r, http.StatusNotFound, errors.New("profiling disabled (start pimfarm with -pprof)"))
 		return
 	}
 	switch strings.TrimPrefix(r.URL.Path, "/debug/pprof/") {
@@ -713,14 +915,14 @@ func (s *server) handlePprof(w http.ResponseWriter, r *http.Request) {
 func methodNotAllowed(allow string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", allow)
-		httpError(w, http.StatusMethodNotAllowed,
+		httpError(w, r, http.StatusMethodNotAllowed,
 			fmt.Errorf("method %s not allowed for %s (allowed: %s)", r.Method, r.URL.Path, allow))
 	}
 }
 
 // handleUnknown answers a JSON 404 for paths outside the API surface.
 func handleUnknown(w http.ResponseWriter, r *http.Request) {
-	httpError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %q", r.URL.Path))
+	httpError(w, r, http.StatusNotFound, fmt.Errorf("no such endpoint %q", r.URL.Path))
 }
 
 func parseDesign(s string) (config.Design, error) {
@@ -749,6 +951,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// httpError writes the API's JSON error body. Every error response —
+// 4xx and 5xx alike — carries the request's X-Request-ID, so a client
+// holding only a logged error body can still correlate it with the
+// server's request log.
+func httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	body := map[string]string{"error": err.Error()}
+	if id := requestID(r); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, status, body)
 }

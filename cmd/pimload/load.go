@@ -1,0 +1,308 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// tenantSpec is one entry of the -tenants mix.
+type tenantSpec struct {
+	// Name is the tenant identity; "anonymous" (or empty) submits with no
+	// credentials at all.
+	Name string
+	// Key, when set, authenticates via "Authorization: Bearer <key>";
+	// otherwise the bare name rides in ?tenant=.
+	Key string
+	// Weight is the tenant's share of arrivals (default 1).
+	Weight int
+}
+
+// parseTenantSpecs parses the -tenants flag: a comma list of
+// name[=key][:weight]. "alice=key-a:3,bob:1" sends 3 of every 4 arrivals
+// as alice (authenticated by key) and 1 as bob (bare name).
+func parseTenantSpecs(s string) ([]tenantSpec, error) {
+	var out []tenantSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec := tenantSpec{Weight: 1}
+		if name, w, ok := strings.Cut(part, ":"); ok {
+			n, err := strconv.Atoi(w)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("tenant %q: bad weight %q", part, w)
+			}
+			spec.Weight = n
+			part = name
+		}
+		if name, key, ok := strings.Cut(part, "="); ok {
+			if key == "" {
+				return nil, fmt.Errorf("tenant %q: empty key", part)
+			}
+			spec.Key = key
+			part = name
+		}
+		if part == "" {
+			return nil, fmt.Errorf("tenant entry with empty name in %q", s)
+		}
+		spec.Name = part
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty tenant mix %q", s)
+	}
+	return out, nil
+}
+
+// tenantSchedule expands the weighted mix into a repeating arrival
+// schedule that interleaves tenants (round-robin by weight) rather than
+// sending each tenant's share in a burst.
+func tenantSchedule(mix []tenantSpec) []tenantSpec {
+	maxW := 0
+	for _, t := range mix {
+		if t.Weight > maxW {
+			maxW = t.Weight
+		}
+	}
+	var sched []tenantSpec
+	for round := 0; round < maxW; round++ {
+		for _, t := range mix {
+			if t.Weight > round {
+				sched = append(sched, t)
+			}
+		}
+	}
+	return sched
+}
+
+// classInteractive reports whether arrival i (0-based) should be
+// interactive under the given fraction, by Bresenham accumulation:
+// the running interactive count tracks frac*(i+1) with no RNG, so any
+// fraction yields a deterministic, evenly interleaved class sequence.
+func classInteractive(i int, frac float64, interactiveSoFar int) bool {
+	return float64(interactiveSoFar) < frac*float64(i+1)
+}
+
+// loadConfig is the resolved load-run parameterization.
+type loadConfig struct {
+	Target      string
+	Rate        float64
+	Duration    time.Duration
+	Interactive float64
+	Tenants     []tenantSpec
+	Game        string
+	Width       int
+	Height      int
+	Design      string
+	Distinct    int
+	BatchFrames int
+	Timeout     time.Duration
+}
+
+// jobBody mirrors the pimfarm jobRequest fields pimload submits.
+type jobBody struct {
+	Game       string `json:"game"`
+	Width      int    `json:"width"`
+	Height     int    `json:"height"`
+	Design     string `json:"design"`
+	FrameIndex int    `json:"frame_index,omitempty"`
+	Frames     int    `json:"frames,omitempty"`
+	Class      string `json:"class,omitempty"`
+}
+
+// request builds the job body for a spec index and class shape.
+func (c loadConfig) request(frameIndex int, batch bool) jobBody {
+	b := jobBody{
+		Game:       c.Game,
+		Width:      c.Width,
+		Height:     c.Height,
+		Design:     c.Design,
+		FrameIndex: frameIndex,
+		Class:      "interactive",
+	}
+	if batch {
+		b.Class = "batch"
+		b.Frames = c.BatchFrames
+	}
+	return b
+}
+
+// coreOptions converts the body to simulator options for the -verify
+// in-process serial replay; Class is scheduling-only and dropped.
+func (b jobBody) coreOptions() (core.Options, error) {
+	var design config.Design
+	switch strings.ToLower(b.Design) {
+	case "", "baseline":
+		design = config.Baseline
+	case "bpim", "b-pim":
+		design = config.BPIM
+	case "stfim", "s-tfim":
+		design = config.STFIM
+	case "atfim", "a-tfim":
+		design = config.ATFIM
+	default:
+		return core.Options{}, fmt.Errorf("unknown design %q", b.Design)
+	}
+	return core.Options{
+		Design:     design,
+		FrameIndex: b.FrameIndex,
+		Frames:     b.Frames,
+		Shards:     1, // serial: the unloaded reference run
+	}, nil
+}
+
+// sample is one arrival's outcome.
+type sample struct {
+	Tenant      string
+	Class       string
+	FrameIndex  int
+	Batch       bool
+	Status      int     // HTTP status (0 = transport error)
+	Reason      string  // 429 reason, when rejected
+	AdmitWaitMS float64 // server-reported admission queue wait
+	E2EMS       float64 // client-observed submit→result latency
+	OK          bool    // job completed successfully
+	ResultHash  string  // canonical result hash (OK only)
+	Err         string
+}
+
+// jobView is the slice of the pimfarm job response pimload reads.
+type jobView struct {
+	ID          string          `json:"id"`
+	Tenant      string          `json:"tenant"`
+	Class       string          `json:"class"`
+	AdmitWaitMS float64         `json:"admit_wait_ms"`
+	State       string          `json:"state"`
+	Error       string          `json:"error"`
+	Result      json.RawMessage `json:"result"`
+}
+
+// runLoad drives the open-loop schedule and collects one sample per
+// arrival. It returns when every in-flight submission has resolved.
+func runLoad(ctx context.Context, cfg loadConfig) ([]sample, time.Duration) {
+	client := &http.Client{Timeout: cfg.Timeout}
+	sched := tenantSchedule(cfg.Tenants)
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	arrivals := int(cfg.Duration.Seconds() * cfg.Rate)
+	if arrivals < 1 {
+		arrivals = 1
+	}
+
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		samples     = make([]sample, 0, arrivals)
+		interactive int
+	)
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < arrivals; i++ {
+		tenant := sched[i%len(sched)]
+		isInteractive := classInteractive(i, cfg.Interactive, interactive)
+		if isInteractive {
+			interactive++
+		}
+		body := cfg.request(i%cfg.Distinct, !isInteractive)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := submitOne(ctx, client, cfg.Target, tenant, body)
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		}()
+		if i < arrivals-1 {
+			select {
+			case <-tick.C:
+			case <-ctx.Done():
+				i = arrivals // stop scheduling; drain what's in flight
+			}
+		}
+	}
+	wg.Wait()
+	return samples, time.Since(start)
+}
+
+// submitOne performs one synchronous job submission and classifies the
+// outcome.
+func submitOne(ctx context.Context, client *http.Client, target string, tenant tenantSpec, body jobBody) sample {
+	s := sample{
+		Tenant:     tenant.Name,
+		Class:      body.Class,
+		FrameIndex: body.FrameIndex,
+		Batch:      body.Class == "batch",
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	url := target + "/v1/jobs?wait=true"
+	if tenant.Key == "" && tenant.Name != "" && tenant.Name != "anonymous" {
+		url += "&tenant=" + tenant.Name
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(payload))
+	if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant.Key != "" {
+		req.Header.Set("Authorization", "Bearer "+tenant.Key)
+	}
+	begin := time.Now()
+	resp, err := client.Do(req)
+	s.E2EMS = float64(time.Since(begin)) / float64(time.Millisecond)
+	if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	defer resp.Body.Close()
+	s.Status = resp.StatusCode
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var v jobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			s.Err = err.Error()
+			return s
+		}
+		s.AdmitWaitMS = v.AdmitWaitMS
+		if v.State != "done" {
+			s.Err = fmt.Sprintf("job %s: %s", v.State, v.Error)
+			return s
+		}
+		s.OK = true
+		s.ResultHash = resultHash(v.Result)
+	case http.StatusTooManyRequests:
+		var e struct {
+			Reason string `json:"reason"`
+			Error  string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		s.Reason = e.Reason
+		if s.Reason == "" {
+			s.Reason = "overload"
+		}
+		s.Err = e.Error
+	default:
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		s.Err = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	return s
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestParseTenantSpecs(t *testing.T) {
+	got, err := parseTenantSpecs("alice=key-a:3, bob:2 ,anonymous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tenantSpec{
+		{Name: "alice", Key: "key-a", Weight: 3},
+		{Name: "bob", Weight: 2},
+		{Name: "anonymous", Weight: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d specs, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{"", "alice:0", "alice:x", "=key", ":2", "alice=:3"} {
+		if _, err := parseTenantSpecs(bad); err == nil {
+			t.Errorf("parseTenantSpecs(%q): want error", bad)
+		}
+	}
+}
+
+func TestTenantSchedule(t *testing.T) {
+	sched := tenantSchedule([]tenantSpec{
+		{Name: "a", Weight: 3},
+		{Name: "b", Weight: 1},
+	})
+	if len(sched) != 4 {
+		t.Fatalf("schedule length = %d, want 4", len(sched))
+	}
+	counts := map[string]int{}
+	for _, s := range sched {
+		counts[s.Name]++
+	}
+	if counts["a"] != 3 || counts["b"] != 1 {
+		t.Errorf("schedule counts = %v, want a:3 b:1", counts)
+	}
+	// Interleaved, not bursty: the first round contains both tenants.
+	if sched[0].Name != "a" || sched[1].Name != "b" {
+		t.Errorf("schedule not interleaved: %+v", sched)
+	}
+}
+
+func TestClassInteractiveFraction(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		n, interactive := 1000, 0
+		for i := 0; i < n; i++ {
+			if classInteractive(i, frac, interactive) {
+				interactive++
+			}
+		}
+		if want := int(frac * float64(n)); int(math.Abs(float64(interactive-want))) > 1 {
+			t.Errorf("frac %v: %d/%d interactive, want ~%d", frac, interactive, n, want)
+		}
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	cfg := loadConfig{Target: "http://x", Rate: 10}
+	samples := []sample{
+		{Tenant: "a", Class: "interactive", OK: true, AdmitWaitMS: 5, E2EMS: 100},
+		{Tenant: "a", Class: "interactive", OK: true, AdmitWaitMS: 15, E2EMS: 200},
+		{Tenant: "b", Class: "batch", OK: true, AdmitWaitMS: 50, E2EMS: 500},
+		{Tenant: "b", Class: "batch", Status: 429, Reason: "over_quota"},
+		{Tenant: "b", Class: "batch", Status: 500, Err: "boom"},
+	}
+	rep := buildReport(cfg, samples, 10*time.Second)
+
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	s := rep.SLO
+	if s.Arrivals != 5 || s.Completed != 3 || s.Rejected != 1 || s.Errors != 1 {
+		t.Errorf("totals = %+v", s)
+	}
+	if s.RejectRate != 0.2 {
+		t.Errorf("reject rate = %v, want 0.2", s.RejectRate)
+	}
+	if s.Goodput != 0.3 {
+		t.Errorf("goodput = %v, want 0.3", s.Goodput)
+	}
+	ic := s.Classes["interactive"]
+	if ic.Completed != 2 || ic.AdmitWait.N != 2 || ic.AdmitWait.Max != 15 {
+		t.Errorf("interactive class = %+v", ic)
+	}
+	bt := s.Tenants["b"]
+	if bt.Rejected != 1 || bt.RejectReasons["over_quota"] != 1 {
+		t.Errorf("tenant b = %+v", bt)
+	}
+
+	// Benchmarks carry the quantiles in bench/v1 shape: parsable and
+	// positive for classes with completions.
+	if len(rep.Benchmarks) == 0 {
+		t.Fatal("no benchmark entries")
+	}
+	found := false
+	for _, b := range rep.Benchmarks {
+		if b.Name == "LoadSLO/interactive/e2e_p99" {
+			found = true
+			// Percentile interpolates between the two samples (100, 200 ms).
+			if b.NsPerOp < int64(150*time.Millisecond) || b.NsPerOp > int64(200*time.Millisecond) {
+				t.Errorf("interactive e2e p99 = %d ns, want within (150ms, 200ms]", b.NsPerOp)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing LoadSLO/interactive/e2e_p99 benchmark entry")
+	}
+
+	// The report round-trips as the shared bench schema.
+	body, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic struct {
+		Schema     string `json:"schema"`
+		Benchmarks []struct {
+			Name    string `json:"name"`
+			NsPerOp int64  `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(body, &generic); err != nil {
+		t.Fatal(err)
+	}
+	if generic.Schema != ReportSchema || len(generic.Benchmarks) != len(rep.Benchmarks) {
+		t.Errorf("round-trip = %+v", generic)
+	}
+}
+
+func TestSummarizeQuantiles(t *testing.T) {
+	// 1..100 ms: the quantiles land on the expected order statistics.
+	var samples []sample
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, sample{Class: "interactive", OK: true, E2EMS: float64(i)})
+	}
+	rep := buildReport(loadConfig{}, samples, time.Second)
+	q := rep.SLO.Classes["interactive"].E2E
+	if q.N != 100 || q.P50 < 49 || q.P50 > 52 || q.P99 < 98 || q.P99 > 100 || q.Max != 100 {
+		t.Errorf("quantiles = %+v", q)
+	}
+}

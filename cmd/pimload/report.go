@@ -1,0 +1,242 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// ReportSchema is the report's schema tag — the repo's shared bench
+// format, so scripts/bench.sh tooling and CI checks parse pimload output
+// like any other benchmark document.
+const ReportSchema = "pim-render/bench/v1"
+
+// benchEntry is one pim-render/bench/v1 benchmark line.
+type benchEntry struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+// quantiles summarizes one latency distribution in milliseconds.
+type quantiles struct {
+	N   int     `json:"n"`
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// classSLO is one priority class's aggregate outcome.
+type classSLO struct {
+	Arrivals  int       `json:"arrivals"`
+	Completed int       `json:"completed"`
+	Rejected  int       `json:"rejected"`
+	Errors    int       `json:"errors"`
+	AdmitWait quantiles `json:"admit_wait"`
+	E2E       quantiles `json:"e2e"`
+}
+
+// tenantSLO is one tenant's aggregate outcome.
+type tenantSLO struct {
+	Arrivals      int            `json:"arrivals"`
+	Completed     int            `json:"completed"`
+	Rejected      int            `json:"rejected"`
+	RejectReasons map[string]int `json:"reject_reasons,omitempty"`
+}
+
+// sloReport is the run-level summary riding alongside the benchmarks.
+type sloReport struct {
+	Target        string               `json:"target"`
+	OfferedRate   float64              `json:"offered_rate_per_sec"`
+	DurationSec   float64              `json:"duration_sec"`
+	Arrivals      int                  `json:"arrivals"`
+	Completed     int                  `json:"completed"`
+	Rejected      int                  `json:"rejected"`
+	Errors        int                  `json:"errors"`
+	RejectRate    float64              `json:"reject_rate"`
+	Goodput       float64              `json:"goodput_jobs_per_sec"`
+	Classes       map[string]classSLO  `json:"classes"`
+	Tenants       map[string]tenantSLO `json:"tenants"`
+	VerifiedSpecs int                  `json:"verified_specs,omitempty"`
+}
+
+// report is the full pimload output document.
+type report struct {
+	Schema     string       `json:"schema"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+	SLO        *sloReport   `json:"slo"`
+}
+
+// buildReport aggregates the run's samples into the report document.
+func buildReport(cfg loadConfig, samples []sample, elapsed time.Duration) *report {
+	slo := &sloReport{
+		Target:      cfg.Target,
+		OfferedRate: cfg.Rate,
+		DurationSec: elapsed.Seconds(),
+		Arrivals:    len(samples),
+		Classes:     map[string]classSLO{},
+		Tenants:     map[string]tenantSLO{},
+	}
+	type dists struct{ admit, e2e stats.Distribution }
+	classDist := map[string]*dists{}
+	for _, s := range samples {
+		c := slo.Classes[s.Class]
+		tn := slo.Tenants[s.Tenant]
+		c.Arrivals++
+		tn.Arrivals++
+		d := classDist[s.Class]
+		if d == nil {
+			d = &dists{}
+			classDist[s.Class] = d
+		}
+		switch {
+		case s.OK:
+			c.Completed++
+			tn.Completed++
+			slo.Completed++
+			d.admit.Observe(s.AdmitWaitMS)
+			d.e2e.Observe(s.E2EMS)
+		case s.Status == 429:
+			c.Rejected++
+			tn.Rejected++
+			slo.Rejected++
+			if tn.RejectReasons == nil {
+				tn.RejectReasons = map[string]int{}
+			}
+			tn.RejectReasons[s.Reason]++
+		default:
+			c.Errors++
+			slo.Errors++
+		}
+		slo.Classes[s.Class] = c
+		slo.Tenants[s.Tenant] = tn
+	}
+	for class, d := range classDist {
+		c := slo.Classes[class]
+		c.AdmitWait = summarize(&d.admit)
+		c.E2E = summarize(&d.e2e)
+		slo.Classes[class] = c
+	}
+	if len(samples) > 0 {
+		slo.RejectRate = float64(slo.Rejected) / float64(len(samples))
+	}
+	if elapsed > 0 {
+		slo.Goodput = float64(slo.Completed) / elapsed.Seconds()
+	}
+
+	rep := &report{Schema: ReportSchema, SLO: slo}
+	classes := make([]string, 0, len(slo.Classes))
+	for c := range slo.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		c := slo.Classes[class]
+		for _, q := range []struct {
+			name string
+			v    quantiles
+		}{{"admit_wait", c.AdmitWait}, {"e2e", c.E2E}} {
+			rep.Benchmarks = append(rep.Benchmarks,
+				benchEntry{Name: fmt.Sprintf("LoadSLO/%s/%s_p50", class, q.name), Iterations: q.v.N, NsPerOp: msToNs(q.v.P50)},
+				benchEntry{Name: fmt.Sprintf("LoadSLO/%s/%s_p95", class, q.name), Iterations: q.v.N, NsPerOp: msToNs(q.v.P95)},
+				benchEntry{Name: fmt.Sprintf("LoadSLO/%s/%s_p99", class, q.name), Iterations: q.v.N, NsPerOp: msToNs(q.v.P99)},
+			)
+		}
+	}
+	if slo.Completed > 0 {
+		rep.Benchmarks = append(rep.Benchmarks, benchEntry{
+			Name:       "LoadSLO/ns_per_completed_job",
+			Iterations: slo.Completed,
+			NsPerOp:    int64(elapsed) / int64(slo.Completed),
+		})
+	}
+	return rep
+}
+
+// summarize reduces a distribution to its SLO quantiles.
+func summarize(d *stats.Distribution) quantiles {
+	if d.N() == 0 {
+		return quantiles{}
+	}
+	return quantiles{
+		N:   d.N(),
+		P50: d.Percentile(50),
+		P95: d.Percentile(95),
+		P99: d.Percentile(99),
+		Max: d.Percentile(100),
+	}
+}
+
+func msToNs(ms float64) int64 { return int64(ms * float64(time.Millisecond)) }
+
+// writeReport writes the document as indented JSON.
+func writeReport(path string, rep *report) error {
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(body, '\n'), 0o644)
+}
+
+// printSummary writes the human-readable run summary.
+func printSummary(w io.Writer, rep *report) {
+	s := rep.SLO
+	fmt.Fprintf(w, "pimload: %d arrivals in %.1fs — %d completed (%.3g/s goodput), %d rejected (%.1f%%), %d errors\n",
+		s.Arrivals, s.DurationSec, s.Completed, s.Goodput, s.Rejected, s.RejectRate*100, s.Errors)
+	classes := make([]string, 0, len(s.Classes))
+	for c := range s.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		c := s.Classes[class]
+		fmt.Fprintf(w, "  %-11s admit wait p50/p95/p99 = %.0f/%.0f/%.0f ms, e2e p50/p95/p99 = %.0f/%.0f/%.0f ms (%d ok, %d rejected)\n",
+			class, c.AdmitWait.P50, c.AdmitWait.P95, c.AdmitWait.P99,
+			c.E2E.P50, c.E2E.P95, c.E2E.P99, c.Completed, c.Rejected)
+	}
+	tenants := make([]string, 0, len(s.Tenants))
+	for t := range s.Tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		t := s.Tenants[name]
+		fmt.Fprintf(w, "  tenant %-10s %d arrivals, %d completed, %d rejected %v\n",
+			name, t.Arrivals, t.Completed, t.Rejected, t.RejectReasons)
+	}
+}
+
+// hashJSON canonically hashes a value through its JSON encoding (Go maps
+// marshal with sorted keys, so equal documents hash equally).
+func hashJSON(v any) string {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return "unhashable:" + err.Error()
+	}
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// resultHash canonicalizes a server-returned result document the same
+// way snapshotHash canonicalizes a locally computed one: decode to the
+// snapshot type, drop the Build provenance stamp, hash the re-encoding.
+func resultHash(raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return "unhashable:" + err.Error()
+	}
+	s.Build = nil
+	return hashJSON(s)
+}

@@ -1,0 +1,317 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs/telem"
+)
+
+// newTestController builds a controller on a private registry so tests
+// never collide through telem.Default().
+func newTestController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = telem.NewRegistry()
+	}
+	return New(cfg)
+}
+
+func openTenant(name string) *Tenant {
+	return &Tenant{Name: name, Rate: Unlimited, MaxInFlight: Unlimited}
+}
+
+// waitForWaiting polls until the class's admission queue holds n live
+// waiters.
+func waitForWaiting(t *testing.T, c *Controller, class Class, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Stats().Queues[class.String()].Waiting == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("class %s never reached %d waiters (stats: %+v)", class, n, c.Stats())
+}
+
+// TestAdmitImmediate: free slots admit without waiting.
+func TestAdmitImmediate(t *testing.T) {
+	c := newTestController(t, Config{Slots: 2})
+	tk, err := c.Admit(context.Background(), openTenant("a"), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Wait() != 0 {
+		t.Errorf("immediate admission waited %v", tk.Wait())
+	}
+	if got := c.Stats().FreeSlots; got != 1 {
+		t.Errorf("free slots = %d, want 1", got)
+	}
+	tk.Release()
+	tk.Release() // idempotent
+	if got := c.Stats().FreeSlots; got != 2 {
+		t.Errorf("free slots after release = %d, want 2", got)
+	}
+}
+
+// TestClassOrdering is the tentpole invariant: a later-arriving
+// interactive submission is granted the next slot ahead of an
+// earlier-queued batch submission.
+func TestClassOrdering(t *testing.T) {
+	c := newTestController(t, Config{Slots: 1})
+	hold, err := c.Admit(context.Background(), openTenant("holder"), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		class Class
+		err   error
+	}
+	order := make(chan result, 2)
+	var wg sync.WaitGroup
+	admitAsync := func(class Class) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := c.Admit(context.Background(), openTenant("t-"+class.String()), class)
+			order <- result{class, err}
+			if err == nil {
+				tk.Release()
+			}
+		}()
+	}
+
+	admitAsync(Batch) // queued first…
+	waitForWaiting(t, c, Batch, 1)
+	admitAsync(Interactive) // …but interactive must win the next slot
+	waitForWaiting(t, c, Interactive, 1)
+
+	hold.Release()
+	first := <-order
+	second := <-order
+	wg.Wait()
+	if first.err != nil || second.err != nil {
+		t.Fatalf("admissions failed: %v / %v", first.err, second.err)
+	}
+	if first.class != Interactive {
+		t.Fatalf("batch was admitted before interactive")
+	}
+	if second.class != Batch {
+		t.Fatalf("batch never admitted")
+	}
+}
+
+// TestRateLimit: an empty token bucket rejects with RateLimited and an
+// accurate Retry-After; refill restores admission.
+func TestRateLimit(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	c := newTestController(t, Config{Slots: 8, Now: clock})
+	tn := &Tenant{Name: "metered", Rate: 2, Burst: 2, MaxInFlight: Unlimited}
+
+	for i := 0; i < 2; i++ {
+		tk, err := c.Admit(context.Background(), tn, Interactive)
+		if err != nil {
+			t.Fatalf("admit %d within burst: %v", i, err)
+		}
+		tk.Release()
+	}
+	_, err := c.Admit(context.Background(), tn, Interactive)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != RateLimited {
+		t.Fatalf("want RateLimited OverloadError, got %v", err)
+	}
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("rejection does not wrap ErrOverload: %v", err)
+	}
+	// 2 tokens/s means the next token is 500ms out.
+	if oe.RetryAfter <= 0 || oe.RetryAfter > 500*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want (0, 500ms]", oe.RetryAfter)
+	}
+
+	advance(time.Second) // refills 2 tokens
+	tk, err := c.Admit(context.Background(), tn, Interactive)
+	if err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	tk.Release()
+}
+
+// TestQuota: a tenant at MaxInFlight is rejected with OverQuota while
+// other tenants are unaffected; releasing restores admission.
+func TestQuota(t *testing.T) {
+	c := newTestController(t, Config{Slots: 8})
+	small := &Tenant{Name: "small", Rate: Unlimited, MaxInFlight: 2}
+
+	tk1, err := c.Admit(context.Background(), small, Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk2, err := c.Admit(context.Background(), small, Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Admit(context.Background(), small, Batch)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != OverQuota {
+		t.Fatalf("want OverQuota, got %v", err)
+	}
+
+	// An unrelated tenant is unaffected by small's quota exhaustion.
+	other, err := c.Admit(context.Background(), openTenant("other"), Batch)
+	if err != nil {
+		t.Fatalf("in-quota tenant rejected alongside over-quota one: %v", err)
+	}
+	other.Release()
+
+	tk1.Release()
+	tk3, err := c.Admit(context.Background(), small, Batch)
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	tk3.Release()
+	tk2.Release()
+}
+
+// TestQueueFull: a class queue at capacity sheds immediately.
+func TestQueueFull(t *testing.T) {
+	c := newTestController(t, Config{Slots: 1, QueueDepth: 1})
+	hold, err := c.Admit(context.Background(), openTenant("a"), Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tk, err := c.Admit(context.Background(), openTenant("b"), Batch)
+		if err == nil {
+			tk.Release()
+		}
+		done <- err
+	}()
+	waitForWaiting(t, c, Batch, 1)
+
+	_, err = c.Admit(context.Background(), openTenant("c"), Batch)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != QueueFull {
+		t.Fatalf("want QueueFull, got %v", err)
+	}
+	// The other class's queue has its own bound: an interactive waiter
+	// still parks fine.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		tk, err := c.Admit(ctx, openTenant("d"), Interactive)
+		if err == nil {
+			tk.Release()
+		}
+	}()
+	waitForWaiting(t, c, Interactive, 1)
+	cancel()
+	waitForWaiting(t, c, Interactive, 0)
+
+	hold.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter failed: %v", err)
+	}
+}
+
+// TestCancelWhileWaiting: a waiter whose context expires is rejected and
+// leaves no stuck quota hold or queue entry.
+func TestCancelWhileWaiting(t *testing.T) {
+	c := newTestController(t, Config{Slots: 1})
+	hold, err := c.Admit(context.Background(), openTenant("a"), Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = c.Admit(ctx, openTenant("b"), Batch)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != QueueFull {
+		t.Fatalf("want QueueFull on ctx expiry, got %v", err)
+	}
+	hold.Release()
+	s := c.Stats()
+	if s.FreeSlots != 1 || len(s.HeldByTenant) != 0 {
+		t.Fatalf("canceled waiter leaked state: %+v", s)
+	}
+}
+
+// TestClose wakes parked waiters with Shutdown and rejects new work.
+func TestClose(t *testing.T) {
+	c := newTestController(t, Config{Slots: 1})
+	hold, err := c.Admit(context.Background(), openTenant("a"), Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(context.Background(), openTenant("b"), Batch)
+		done <- err
+	}()
+	waitForWaiting(t, c, Batch, 1)
+	c.Close()
+	err = <-done
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != Shutdown {
+		t.Fatalf("parked waiter: want Shutdown, got %v", err)
+	}
+	if _, err := c.Admit(context.Background(), openTenant("c"), Batch); !errors.Is(err, ErrOverload) {
+		t.Fatalf("post-close admit: want overload, got %v", err)
+	}
+	hold.Release()
+	c.Close() // idempotent
+}
+
+// TestConcurrentAdmitRace hammers Admit/Release from many goroutines
+// (run under -race): all admissions eventually succeed or shed cleanly,
+// and every slot returns to the pool.
+func TestConcurrentAdmitRace(t *testing.T) {
+	c := newTestController(t, Config{Slots: 3, QueueDepth: 8})
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tn := openTenant(fmt.Sprintf("t%d", g%3))
+			for i := 0; i < 50; i++ {
+				class := Class(i % int(numClasses))
+				ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+				tk, err := c.Admit(ctx, tn, class)
+				cancel()
+				if err != nil {
+					if !errors.Is(err, ErrOverload) {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+					shed.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				tk.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if admitted.Load() == 0 {
+		t.Fatal("nothing admitted")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := c.Stats(); s.FreeSlots == 3 && len(s.HeldByTenant) == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("slots leaked: %+v", c.Stats())
+}

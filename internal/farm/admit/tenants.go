@@ -1,0 +1,244 @@
+package admit
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// TenantsSchema identifies the -tenants config file format.
+const TenantsSchema = "pim-render/tenants/v1"
+
+// Per-tenant defaults applied when a Tenant (or the file's "default"
+// block) leaves a field zero.
+const (
+	// DefaultTenantRate is sustained admissions/second per tenant.
+	DefaultTenantRate = 50.0
+	// DefaultTenantBurst is the token-bucket depth per tenant.
+	DefaultTenantBurst = 100
+	// DefaultTenantMaxInFlight bounds one tenant's admitted + waiting
+	// jobs.
+	DefaultTenantMaxInFlight = 64
+)
+
+// Unlimited disables a per-tenant limit when assigned to Rate,
+// Burst or MaxInFlight (the JSON spelling is -1).
+const Unlimited = -1
+
+// Tenant is one configured caller of the farm API.
+type Tenant struct {
+	// Name identifies the tenant in job views, spans, SSE events and
+	// telemetry labels.
+	Name string `json:"name"`
+	// Key is the API key presented as "Authorization: Bearer <key>".
+	// Empty means the tenant needs no key and may be selected with the
+	// dev-mode ?tenant= query parameter.
+	Key string `json:"key,omitempty"`
+	// Rate is sustained admissions/second (token-bucket refill);
+	// 0 selects DefaultTenantRate, -1 is unlimited.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token-bucket depth; 0 selects DefaultTenantBurst.
+	Burst int `json:"burst,omitempty"`
+	// MaxInFlight bounds the tenant's admitted + waiting jobs;
+	// 0 selects DefaultTenantMaxInFlight, -1 is unlimited.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// rate resolves the effective refill rate (<= 0 means unlimited).
+func (t *Tenant) rate() float64 {
+	switch {
+	case t.Rate == 0:
+		return DefaultTenantRate
+	case t.Rate < 0:
+		return 0
+	default:
+		return t.Rate
+	}
+}
+
+// burst resolves the effective bucket depth.
+func (t *Tenant) burst() float64 {
+	if t.Burst <= 0 {
+		return DefaultTenantBurst
+	}
+	return float64(t.Burst)
+}
+
+// quota resolves the effective in-flight bound (<= 0 means unlimited).
+func (t *Tenant) quota() int {
+	switch {
+	case t.MaxInFlight == 0:
+		return DefaultTenantMaxInFlight
+	case t.MaxInFlight < 0:
+		return 0
+	default:
+		return t.MaxInFlight
+	}
+}
+
+// AnonymousTenant names the tenant used when a request carries no
+// Authorization header and no ?tenant= parameter.
+const AnonymousTenant = "anonymous"
+
+// Errors returned by Authorize.
+var (
+	// ErrBadKey rejects an Authorization header whose key matches no
+	// tenant.
+	ErrBadKey = errors.New("admit: unknown API key")
+	// ErrUnknownTenant rejects a ?tenant= name the set does not carry
+	// (when the set is strict).
+	ErrUnknownTenant = errors.New("admit: unknown tenant")
+	// ErrKeyRequired rejects selecting a keyed tenant by name alone.
+	ErrKeyRequired = errors.New("admit: tenant requires an API key")
+)
+
+// tenantsFile is the on-disk -tenants document.
+type tenantsFile struct {
+	Schema string `json:"schema"`
+	// Default seeds limits for tenants that leave fields zero, and for
+	// unknown tenants when AllowUnknown is set.
+	Default *Tenant `json:"default,omitempty"`
+	// AllowUnknown admits tenants not listed in Tenants (under Default
+	// limits); without it an unknown name or key is a 401.
+	AllowUnknown bool     `json:"allow_unknown,omitempty"`
+	Tenants      []Tenant `json:"tenants"`
+}
+
+// TenantSet authorizes request credentials into *Tenant records. Safe
+// for concurrent use (lookups after construction are read-only, except
+// for the memoized unknown-tenant records guarded by mu).
+type TenantSet struct {
+	byName       map[string]*Tenant
+	byKey        map[string]*Tenant
+	defaults     Tenant
+	allowUnknown bool
+
+	mu      sync.Mutex
+	unknown map[string]*Tenant // memoized so limits accrue per name
+}
+
+// OpenTenants is the no-config tenant set: any name is accepted (the
+// anonymous tenant when none is given) and every tenant gets unlimited
+// rate and a quota bounded only by the admission queue. It keeps a bare
+// `pimfarm` invocation as permissive as before -tenants existed, while
+// still giving every request a tenant identity for telemetry.
+func OpenTenants() *TenantSet {
+	return &TenantSet{
+		byName:       map[string]*Tenant{},
+		byKey:        map[string]*Tenant{},
+		defaults:     Tenant{Rate: Unlimited, MaxInFlight: Unlimited},
+		allowUnknown: true,
+		unknown:      map[string]*Tenant{},
+	}
+}
+
+// NewTenantSet builds a strict set from explicit records (tests and
+// embedders); zero fields fall back to the package defaults.
+func NewTenantSet(tenants []Tenant) (*TenantSet, error) {
+	return buildSet(tenantsFile{Schema: TenantsSchema, Tenants: tenants})
+}
+
+// LoadTenants reads a pim-render/tenants/v1 JSON file.
+func LoadTenants(path string) (*TenantSet, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenants: %w", err)
+	}
+	var f tenantsFile
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("tenants: parse %s: %w", path, err)
+	}
+	if f.Schema != TenantsSchema {
+		return nil, fmt.Errorf("tenants: %s: schema %q, want %q", path, f.Schema, TenantsSchema)
+	}
+	return buildSet(f)
+}
+
+func buildSet(f tenantsFile) (*TenantSet, error) {
+	s := &TenantSet{
+		byName:       make(map[string]*Tenant, len(f.Tenants)),
+		byKey:        make(map[string]*Tenant, len(f.Tenants)),
+		allowUnknown: f.AllowUnknown,
+		unknown:      map[string]*Tenant{},
+	}
+	if f.Default != nil {
+		s.defaults = *f.Default
+	}
+	for i := range f.Tenants {
+		t := f.Tenants[i] // copy; the set owns its records
+		if t.Name == "" {
+			return nil, fmt.Errorf("tenants: tenant %d has no name", i)
+		}
+		if _, dup := s.byName[t.Name]; dup {
+			return nil, fmt.Errorf("tenants: duplicate tenant %q", t.Name)
+		}
+		applyDefaults(&t, s.defaults)
+		s.byName[t.Name] = &t
+		if t.Key != "" {
+			if _, dup := s.byKey[t.Key]; dup {
+				return nil, fmt.Errorf("tenants: tenant %q reuses another tenant's key", t.Name)
+			}
+			s.byKey[t.Key] = &t
+		}
+	}
+	return s, nil
+}
+
+// applyDefaults fills t's zero limits from d's non-zero ones.
+func applyDefaults(t *Tenant, d Tenant) {
+	if t.Rate == 0 {
+		t.Rate = d.Rate
+	}
+	if t.Burst == 0 {
+		t.Burst = d.Burst
+	}
+	if t.MaxInFlight == 0 {
+		t.MaxInFlight = d.MaxInFlight
+	}
+}
+
+// Authorize resolves request credentials to a tenant record. key is the
+// bearer token from the Authorization header ("" when absent); name is
+// the dev-mode ?tenant= parameter ("" when absent). Precedence: a key
+// always wins (and must match); a bare name selects an unkeyed tenant or,
+// when the set allows unknowns, a memoized default-limits record; with
+// neither, the anonymous tenant applies (if allowed).
+func (s *TenantSet) Authorize(key, name string) (*Tenant, error) {
+	if key != "" {
+		t, ok := s.byKey[key]
+		if !ok {
+			return nil, ErrBadKey
+		}
+		return t, nil
+	}
+	if name == "" {
+		name = AnonymousTenant
+	}
+	if t, ok := s.byName[name]; ok {
+		if t.Key != "" {
+			return nil, fmt.Errorf("%w: %q", ErrKeyRequired, name)
+		}
+		return t, nil
+	}
+	if !s.allowUnknown {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.unknown[name]; ok {
+		return t, nil
+	}
+	t := s.defaults
+	t.Name = name
+	t.Key = ""
+	s.unknown[name] = &t
+	return &t, nil
+}
+
+// Len returns how many tenants are explicitly configured.
+func (s *TenantSet) Len() int { return len(s.byName) }

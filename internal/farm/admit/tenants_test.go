@@ -1,0 +1,143 @@
+package admit
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTenants(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadTenants(t *testing.T) {
+	path := writeTenants(t, `{
+		"schema": "pim-render/tenants/v1",
+		"default": {"rate": 5, "burst": 10, "max_in_flight": 4},
+		"tenants": [
+			{"name": "alice", "key": "key-alice", "rate": 20},
+			{"name": "bob", "max_in_flight": 2},
+			{"name": "firehose", "rate": -1, "max_in_flight": -1}
+		]
+	}`)
+	s, err := LoadTenants(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+
+	alice, err := s.Authorize("key-alice", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alice.Name != "alice" || alice.rate() != 20 || alice.quota() != 4 {
+		t.Errorf("alice = %+v (rate %v quota %d)", alice, alice.rate(), alice.quota())
+	}
+
+	// Keyed tenants cannot be selected by bare name.
+	if _, err := s.Authorize("", "alice"); !errors.Is(err, ErrKeyRequired) {
+		t.Errorf("bare-name keyed tenant: want ErrKeyRequired, got %v", err)
+	}
+	// Unkeyed tenants can.
+	bob, err := s.Authorize("", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bob.quota() != 2 || bob.rate() != 5 {
+		t.Errorf("bob limits = rate %v quota %d, want 5/2", bob.rate(), bob.quota())
+	}
+	// Unlimited spellings resolve to no limit.
+	fh, err := s.Authorize("", "firehose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fh.rate() != 0 || fh.quota() != 0 {
+		t.Errorf("firehose should be unlimited, got rate %v quota %d", fh.rate(), fh.quota())
+	}
+
+	// Strict set: unknown keys and names are refused.
+	if _, err := s.Authorize("nope", ""); !errors.Is(err, ErrBadKey) {
+		t.Errorf("bad key: want ErrBadKey, got %v", err)
+	}
+	if _, err := s.Authorize("", "mallory"); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("unknown tenant: want ErrUnknownTenant, got %v", err)
+	}
+	if _, err := s.Authorize("", ""); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("anonymous against strict set: want ErrUnknownTenant, got %v", err)
+	}
+}
+
+func TestLoadTenantsAllowUnknown(t *testing.T) {
+	path := writeTenants(t, `{
+		"schema": "pim-render/tenants/v1",
+		"allow_unknown": true,
+		"default": {"rate": 3, "max_in_flight": 2},
+		"tenants": [{"name": "alice", "key": "key-alice"}]
+	}`)
+	s, err := LoadTenants(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Authorize("", "walk-in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "walk-in" || got.rate() != 3 || got.quota() != 2 {
+		t.Errorf("walk-in = %+v", got)
+	}
+	// Memoized: the same record comes back (limits accrue per name).
+	again, _ := s.Authorize("", "walk-in")
+	if got != again {
+		t.Error("unknown tenant records not memoized")
+	}
+	anon, err := s.Authorize("", "")
+	if err != nil || anon.Name != AnonymousTenant {
+		t.Errorf("anonymous = %+v, %v", anon, err)
+	}
+}
+
+func TestLoadTenantsRejectsBadFiles(t *testing.T) {
+	cases := map[string]string{
+		"bad schema":    `{"schema": "nope/v1", "tenants": []}`,
+		"unnamed":       `{"schema": "pim-render/tenants/v1", "tenants": [{"key": "k"}]}`,
+		"duplicate":     `{"schema": "pim-render/tenants/v1", "tenants": [{"name":"a"},{"name":"a"}]}`,
+		"reused key":    `{"schema": "pim-render/tenants/v1", "tenants": [{"name":"a","key":"k"},{"name":"b","key":"k"}]}`,
+		"unknown field": `{"schema": "pim-render/tenants/v1", "tenantz": []}`,
+		"not json":      `hello`,
+	}
+	for name, body := range cases {
+		if _, err := LoadTenants(writeTenants(t, body)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	if _, err := LoadTenants(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestOpenTenants(t *testing.T) {
+	s := OpenTenants()
+	anon, err := s.Authorize("", "")
+	if err != nil || anon.Name != AnonymousTenant {
+		t.Fatalf("anonymous = %+v, %v", anon, err)
+	}
+	if anon.rate() != 0 || anon.quota() != 0 {
+		t.Errorf("open tenants must be unlimited, got rate %v quota %d", anon.rate(), anon.quota())
+	}
+	dev, err := s.Authorize("", "dev-box")
+	if err != nil || dev.Name != "dev-box" {
+		t.Fatalf("named dev tenant = %+v, %v", dev, err)
+	}
+	// Keys against the open set still fail (there is nothing to match).
+	if _, err := s.Authorize("some-key", ""); !errors.Is(err, ErrBadKey) {
+		t.Errorf("open set with key: want ErrBadKey, got %v", err)
+	}
+}

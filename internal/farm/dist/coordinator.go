@@ -76,6 +76,21 @@ func newCoordMetrics(r *telem.Registry) coordMetrics {
 	}
 }
 
+// Class-queue indexes: interactive work is always leased first.
+const (
+	classInteractive = iota
+	classBatch
+	numClassQueues
+)
+
+// classIndex maps a job's class label to its lease queue.
+func classIndex(class string) int {
+	if class == "interactive" {
+		return classInteractive
+	}
+	return classBatch
+}
+
 // pending is one job waiting in the queue or out on a lease.
 type pending struct {
 	id       string
@@ -115,9 +130,13 @@ type Coordinator struct {
 	cfg Config
 	met coordMetrics
 
-	mu        sync.Mutex
-	closed    bool
-	queue     []*pending          // FIFO; gone entries skipped lazily
+	mu     sync.Mutex
+	closed bool
+	// queues holds the two class-ordered FIFO lease queues (gone entries
+	// skipped lazily): index 0 is interactive, drained completely before
+	// index 1 (batch) is touched, so interactive jobs preempt queued
+	// batch work at the lease layer exactly as they do at admission.
+	queues    [numClassQueues][]*pending
 	byID      map[string]*pending // unresolved jobs (queued or leased)
 	leases    map[string]*lease
 	workers   map[string]*workerInfo
@@ -186,7 +205,8 @@ func (c *Coordinator) Enqueue(job Job) (string, <-chan Outcome, error) {
 		enqueued: time.Now(),
 	}
 	c.byID[p.id] = p
-	c.queue = append(c.queue, p)
+	q := classIndex(job.Class)
+	c.queues[q] = append(c.queues[q], p)
 	return p.id, p.ch, nil
 }
 
@@ -210,20 +230,25 @@ func (c *Coordinator) Abandon(id string) {
 }
 
 // Lease grants the oldest queued job to workerID, or reports no work.
+// The interactive queue is drained completely before any batch job is
+// granted.
 func (c *Coordinator) Lease(workerID string) (*Grant, bool) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touchWorkerLocked(workerID, now)
 	var p *pending
-	for len(c.queue) > 0 {
-		head := c.queue[0]
-		c.queue = c.queue[1:]
-		if head.gone || head.lease != nil {
-			continue // abandoned, or a stale queue entry from a requeue
+scan:
+	for q := 0; q < numClassQueues; q++ {
+		for len(c.queues[q]) > 0 {
+			head := c.queues[q][0]
+			c.queues[q] = c.queues[q][1:]
+			if head.gone || head.lease != nil {
+				continue // abandoned, or a stale queue entry from a requeue
+			}
+			p = head
+			break scan
 		}
-		p = head
-		break
 	}
 	if p == nil {
 		return nil, false
@@ -245,6 +270,7 @@ func (c *Coordinator) Lease(workerID string) (*Grant, bool) {
 		Job:       p.id,
 		Key:       p.job.Key,
 		Label:     p.job.Label,
+		Class:     p.job.Class,
 		Spec:      p.job.Spec,
 		TTLMillis: c.cfg.TTL.Milliseconds(),
 	}, true
@@ -370,7 +396,8 @@ func (c *Coordinator) sweep(now time.Time) {
 			fails = append(fails, failed{p: p, worker: l.worker})
 			continue
 		}
-		c.queue = append(c.queue, p)
+		q := classIndex(p.job.Class)
+		c.queues[q] = append(c.queues[q], p)
 		c.requeues.Add(1)
 		c.met.requeues.Inc()
 	}
@@ -445,18 +472,29 @@ func (c *Coordinator) Stats() Stats {
 	now := time.Now()
 	c.mu.Lock()
 	queued := 0
-	for _, p := range c.queue {
-		if !p.gone && p.lease == nil {
-			queued++
+	byClass := map[string]int{"interactive": 0, "batch": 0}
+	for q := 0; q < numClassQueues; q++ {
+		n := 0
+		for _, p := range c.queues[q] {
+			if !p.gone && p.lease == nil {
+				n++
+			}
+		}
+		queued += n
+		if q == classInteractive {
+			byClass["interactive"] = n
+		} else {
+			byClass["batch"] = n
 		}
 	}
 	leased := len(c.leases)
 	live := c.liveWorkersLocked(now)
 	c.mu.Unlock()
 	return Stats{
-		Queued:      queued,
-		Leased:      leased,
-		WorkersLive: live,
+		Queued:        queued,
+		QueuedByClass: byClass,
+		Leased:        leased,
+		WorkersLive:   live,
 		LeaseOps: LeaseOps{
 			Grants:   c.grants.Load(),
 			Renews:   c.renews.Load(),
@@ -484,7 +522,9 @@ func (c *Coordinator) Close() {
 	}
 	c.byID = make(map[string]*pending)
 	c.leases = make(map[string]*lease)
-	c.queue = nil
+	for q := range c.queues {
+		c.queues[q] = nil
+	}
 	c.mu.Unlock()
 	for _, p := range orphans {
 		p.ch <- Outcome{Err: "coordinator shut down"}

@@ -238,3 +238,37 @@ func TestCloseResolvesWaiters(t *testing.T) {
 		t.Fatalf("enqueue after close = %v, want ErrClosed", err)
 	}
 }
+
+// TestClassOrderedLeasing: interactive jobs are leased ahead of batch work
+// that was queued earlier, batch keeps FIFO order among itself, and the
+// per-class queue split shows up in Stats.
+func TestClassOrderedLeasing(t *testing.T) {
+	c := testCoordinator(t, Config{TTL: time.Minute})
+	b1, _, _ := c.Enqueue(Job{Label: "batch-1", Class: "batch", Spec: json.RawMessage(`{}`)})
+	b2, _, _ := c.Enqueue(Job{Label: "batch-2", Spec: json.RawMessage(`{}`)}) // empty class queues as batch
+	i1, _, _ := c.Enqueue(Job{Label: "inter-1", Class: "interactive", Spec: json.RawMessage(`{}`)})
+	i2, _, _ := c.Enqueue(Job{Label: "inter-2", Class: "interactive", Spec: json.RawMessage(`{}`)})
+
+	st := c.Stats()
+	if st.Queued != 4 || st.QueuedByClass["interactive"] != 2 || st.QueuedByClass["batch"] != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	var order []string
+	for k := 0; k < 4; k++ {
+		g, ok := c.Lease("w1")
+		if !ok {
+			t.Fatalf("lease %d: no grant", k)
+		}
+		order = append(order, g.Job)
+		if k < 2 && g.Class != "interactive" {
+			t.Fatalf("lease %d granted class %q, want interactive first", k, g.Class)
+		}
+	}
+	want := []string{i1, i2, b1, b2}
+	for k := range want {
+		if order[k] != want[k] {
+			t.Fatalf("lease order = %v, want %v", order, want)
+		}
+	}
+}

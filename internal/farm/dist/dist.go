@@ -30,6 +30,10 @@ type Job struct {
 	Key string
 	// Label names the job in grants and worker logs.
 	Label string
+	// Class is the admission priority-class label: "interactive" jobs
+	// are leased ahead of queued batch work; any other value (including
+	// empty) queues at batch priority.
+	Class string
 	// Spec is the opaque job description a worker's Exec understands
 	// (cmd/pimfarm marshals its jobRequest here).
 	Spec json.RawMessage
@@ -70,6 +74,7 @@ type Grant struct {
 	Job   string          `json:"job"`
 	Key   string          `json:"key,omitempty"`
 	Label string          `json:"label,omitempty"`
+	Class string          `json:"class,omitempty"`
 	Spec  json.RawMessage `json:"spec"`
 	// TTLMillis is the lease duration; the worker should renew at a
 	// comfortable fraction of it (the bundled Worker renews at TTL/3).
@@ -127,9 +132,12 @@ type LeaseOps struct {
 // Stats is a point-in-time snapshot of coordinator state (the "workers"
 // block in pimfarm's /varz).
 type Stats struct {
-	Queued      int          `json:"queued"`
-	Leased      int          `json:"leased"`
-	WorkersLive int          `json:"workers_live"`
-	LeaseOps    LeaseOps     `json:"lease_ops"`
-	Workers     []WorkerView `json:"workers,omitempty"`
+	Queued int `json:"queued"`
+	// QueuedByClass splits Queued into the coordinator's two lease
+	// queues ("interactive" is always drained first).
+	QueuedByClass map[string]int `json:"queued_by_class,omitempty"`
+	Leased        int            `json:"leased"`
+	WorkersLive   int            `json:"workers_live"`
+	LeaseOps      LeaseOps       `json:"lease_ops"`
+	Workers       []WorkerView   `json:"workers,omitempty"`
 }

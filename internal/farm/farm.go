@@ -37,6 +37,9 @@ const (
 	DefaultRetainDone = 1024
 	// DefaultBackoff seeds the exponential retry backoff.
 	DefaultBackoff = 10 * time.Millisecond
+	// DefaultEventRetention is how long finished jobs keep their full SSE
+	// replay rings before the janitor compacts them to the terminal event.
+	DefaultEventRetention = 10 * time.Minute
 )
 
 // Errors returned by the farm.
@@ -72,6 +75,17 @@ type Task struct {
 	// ID). It is appended to trace span names and surfaced in job views,
 	// tying a span or log line back to the request that caused it.
 	Origin string
+	// Tenant names who the work was admitted for; it is carried into job
+	// views, SSE "state" events and trace span names. Empty when the
+	// caller runs without admission control.
+	Tenant string
+	// Class is the admission priority-class label ("interactive",
+	// "batch"); informational at this layer — ordering is enforced by the
+	// admission controller in front of Submit, not by the farm queue.
+	Class string
+	// AdmitWait is how long the submission waited for admission before
+	// Submit was called; surfaced on the job view as admit_wait_ms.
+	AdmitWait time.Duration
 	// Meta is an opaque caller payload surfaced on the Job (pimfarm stores
 	// the parsed request here).
 	Meta any
@@ -102,6 +116,12 @@ type Config struct {
 	// RetainDone bounds how many finished jobs stay listable; <= 0 selects
 	// DefaultRetainDone.
 	RetainDone int
+	// EventRetention is how long a finished job keeps its full SSE replay
+	// ring; once a job has been terminal this long, the ring is compacted
+	// to the terminal "state" event so long-running servers do not hold
+	// every retained job's progress history. 0 selects
+	// DefaultEventRetention; < 0 disables compaction.
+	EventRetention time.Duration
 	// Tier, when non-nil, is the second cache tier behind the in-memory
 	// LRU (memory → tier → compute). It is consulted on a worker just
 	// before a task would run — never on the Submit path — and computed
@@ -267,7 +287,41 @@ func New(cfg Config) *Farm {
 	for w := 0; w < cfg.Workers; w++ {
 		go f.worker(w)
 	}
+	if cfg.EventRetention >= 0 {
+		if cfg.EventRetention == 0 {
+			f.cfg.EventRetention = DefaultEventRetention
+		}
+		go f.janitor()
+	}
 	return f
+}
+
+// janitor periodically compacts the SSE replay rings of jobs that have
+// been terminal longer than EventRetention, bounding what a long-running
+// server retains per finished job. It exits with the root context.
+func (f *Farm) janitor() {
+	every := f.cfg.EventRetention / 4
+	if every < time.Second {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.root.Done():
+			return
+		case now := <-t.C:
+			cut := now.Add(-f.cfg.EventRetention)
+			for _, j := range f.Jobs() {
+				j.mu.Lock()
+				stale := j.state.Terminal() && !j.finished.IsZero() && j.finished.Before(cut)
+				j.mu.Unlock()
+				if stale {
+					j.compactEvents()
+				}
+			}
+		}
+	}
 }
 
 // Workers returns the pool size.
@@ -289,14 +343,17 @@ func (f *Farm) Submit(ctx context.Context, t Task) (*Job, error) {
 		return nil, ErrClosed
 	}
 	j := &Job{
-		id:       fmt.Sprintf("job-%06d", f.nextID+1),
-		label:    t.Label,
-		key:      t.Key,
-		origin:   t.Origin,
-		meta:     t.Meta,
-		state:    Queued,
-		enqueued: now,
-		done:     make(chan struct{}),
+		id:        fmt.Sprintf("job-%06d", f.nextID+1),
+		label:     t.Label,
+		key:       t.Key,
+		origin:    t.Origin,
+		tenant:    t.Tenant,
+		class:     t.Class,
+		admitWait: t.AdmitWait,
+		meta:      t.Meta,
+		state:     Queued,
+		enqueued:  now,
+		done:      make(chan struct{}),
 	}
 	// The job rides in its own context so Run closures can reach it
 	// (JobFromContext) to publish progress events before Submit returns.

@@ -539,3 +539,93 @@ func TestTierServesAndWritesThrough(t *testing.T) {
 		t.Fatalf("tier holds %d entries, want 1 (unkeyed job leaked through)", len(tier.m))
 	}
 }
+
+// TestEventRetentionCompactsTerminalJobs: a finished job's SSE replay
+// ring shrinks to its terminal event once it outlives EventRetention, so
+// retained jobs stop pinning their full progress history. A late
+// subscriber still learns the outcome.
+func TestEventRetentionCompactsTerminalJobs(t *testing.T) {
+	f := New(Config{Workers: 1, EventRetention: 50 * time.Millisecond})
+	defer mustClose(t, f)
+	j, err := f.Submit(context.Background(), Task{
+		Label: "chatty",
+		Run: func(ctx context.Context) (any, error) {
+			job, _ := JobFromContext(ctx)
+			for i := 0; i < 20; i++ {
+				job.Publish("progress", i)
+			}
+			return value{1}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before compaction the replay holds the progress trail.
+	ch, cancel := j.Subscribe()
+	n := 0
+	for range ch {
+		n++
+	}
+	cancel()
+	if n < 20 {
+		t.Fatalf("pre-compaction replay has %d events, want >= 20", n)
+	}
+
+	// The janitor ticks at >= 1s; well after that the ring is one event.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ch, cancel := j.Subscribe()
+		n = 0
+		var last Event
+		for ev := range ch {
+			last = ev
+			n++
+		}
+		cancel()
+		if n == 1 {
+			if last.Type != "state" {
+				t.Fatalf("compacted ring kept %q, want the terminal state event", last.Type)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replay never compacted: still %d events", n)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestTaskTenantClassThreading: tenant, class, and admission wait set on
+// the Task surface in the job's accessors, View, and span name.
+func TestTaskTenantClassThreading(t *testing.T) {
+	f := New(Config{Workers: 1})
+	defer mustClose(t, f)
+	j, err := f.Submit(context.Background(), Task{
+		Label:     "tagged",
+		Origin:    "r-000042",
+		Tenant:    "alice",
+		Class:     "interactive",
+		AdmitWait: 250 * time.Millisecond,
+		Run:       func(ctx context.Context) (any, error) { return value{1}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if j.Tenant() != "alice" || j.Class() != "interactive" || j.AdmitWait() != 250*time.Millisecond {
+		t.Errorf("accessors = %q/%q/%v", j.Tenant(), j.Class(), j.AdmitWait())
+	}
+	v := j.View()
+	if v.Tenant != "alice" || v.Class != "interactive" || v.AdmitWaitMS != 250 {
+		t.Errorf("view = %+v", v)
+	}
+	if got := j.spanName(); got != "tagged [r-000042] {alice/interactive}" {
+		t.Errorf("span name = %q", got)
+	}
+}

@@ -67,12 +67,15 @@ type Event struct {
 // Job is one submitted task tracked through its lifecycle. All fields are
 // guarded; read them through the accessor methods or View.
 type Job struct {
-	id     string
-	label  string
-	key    string
-	origin string
-	meta   any
-	run    func(ctx context.Context) (any, error)
+	id        string
+	label     string
+	key       string
+	origin    string
+	tenant    string
+	class     string
+	admitWait time.Duration
+	meta      any
+	run       func(ctx context.Context) (any, error)
 
 	// ctx is the job's execution context, derived from the farm's root at
 	// submission; cancel aborts this job alone (Farm.Cancel).
@@ -119,13 +122,30 @@ func (j *Job) Meta() any { return j.meta }
 // the caller set none).
 func (j *Job) Origin() string { return j.origin }
 
-// spanName is the label used in trace spans, qualified with the origin so
-// a span in a farm trace can be tied back to the request that caused it.
+// Tenant returns the tenant the job was admitted for ("" when admission
+// control is not in front of this farm).
+func (j *Job) Tenant() string { return j.tenant }
+
+// Class returns the job's priority class label ("" when unset).
+func (j *Job) Class() string { return j.class }
+
+// AdmitWait returns how long the submission waited in the admission
+// queue before entering the farm (zero when admission was immediate or
+// absent).
+func (j *Job) AdmitWait() time.Duration { return j.admitWait }
+
+// spanName is the label used in trace spans, qualified with the origin
+// and tenant/class so a span in a farm trace can be tied back to the
+// request — and the tenant — that caused it.
 func (j *Job) spanName() string {
-	if j.origin == "" {
-		return j.label
+	name := j.label
+	if j.origin != "" {
+		name += " [" + j.origin + "]"
 	}
-	return j.label + " [" + j.origin + "]"
+	if j.tenant != "" {
+		name += " {" + j.tenant + "/" + j.class + "}"
+	}
+	return name
 }
 
 // Publish appends an event to the job's stream: it is recorded in the
@@ -201,6 +221,20 @@ func (j *Job) closeEvents() {
 	j.evMu.Unlock()
 }
 
+// compactEvents shrinks a terminal job's replay ring to its final event
+// (the terminal "state" record), so long-retained finished jobs stop
+// holding their full progress history. A late SSE subscriber still sees
+// the job's outcome followed by the stream's "end" event; only the
+// per-frame progress trail is gone. No-op while the stream is live.
+func (j *Job) compactEvents() {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	if !j.evClosed || len(j.evLog) <= 1 {
+		return
+	}
+	j.evLog = append([]Event(nil), j.evLog[len(j.evLog)-1])
+}
+
 // State returns the current lifecycle state.
 func (j *Job) State() State {
 	j.mu.Lock()
@@ -242,19 +276,25 @@ func (j *Job) isCanceled() bool {
 // View is a point-in-time, JSON-marshalable summary of a job (what
 // pimfarm's GET /v1/jobs endpoints return, minus the result body).
 type View struct {
-	ID       string     `json:"id"`
-	Label    string     `json:"label,omitempty"`
-	Key      string     `json:"key,omitempty"`
-	Origin   string     `json:"origin,omitempty"`
-	State    string     `json:"state"`
-	Error    string     `json:"error,omitempty"`
-	Attempts int        `json:"attempts,omitempty"`
-	Deduped  bool       `json:"deduped,omitempty"`
-	CacheHit bool       `json:"cache_hit,omitempty"`
-	TierHit  bool       `json:"tier_hit,omitempty"`
-	Enqueued time.Time  `json:"enqueued"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
+	ID     string `json:"id"`
+	Label  string `json:"label,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Origin string `json:"origin,omitempty"`
+	// Tenant and Class identify who the job was admitted for and at what
+	// priority; AdmitWaitMS is the time the submission spent in the
+	// admission queue (the SLO quantity cmd/pimload aggregates).
+	Tenant      string     `json:"tenant,omitempty"`
+	Class       string     `json:"class,omitempty"`
+	AdmitWaitMS float64    `json:"admit_wait_ms,omitempty"`
+	State       string     `json:"state"`
+	Error       string     `json:"error,omitempty"`
+	Attempts    int        `json:"attempts,omitempty"`
+	Deduped     bool       `json:"deduped,omitempty"`
+	CacheHit    bool       `json:"cache_hit,omitempty"`
+	TierHit     bool       `json:"tier_hit,omitempty"`
+	Enqueued    time.Time  `json:"enqueued"`
+	Started     *time.Time `json:"started,omitempty"`
+	Finished    *time.Time `json:"finished,omitempty"`
 }
 
 // View snapshots the job.
@@ -262,16 +302,19 @@ func (j *Job) View() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := View{
-		ID:       j.id,
-		Label:    j.label,
-		Key:      j.key,
-		Origin:   j.origin,
-		State:    j.state.String(),
-		Attempts: j.attempts,
-		Deduped:  j.deduped,
-		CacheHit: j.cacheHit,
-		TierHit:  j.tierHit,
-		Enqueued: j.enqueued,
+		ID:          j.id,
+		Label:       j.label,
+		Key:         j.key,
+		Origin:      j.origin,
+		Tenant:      j.tenant,
+		Class:       j.class,
+		AdmitWaitMS: float64(j.admitWait) / float64(time.Millisecond),
+		State:       j.state.String(),
+		Attempts:    j.attempts,
+		Deduped:     j.deduped,
+		CacheHit:    j.cacheHit,
+		TierHit:     j.tierHit,
+		Enqueued:    j.enqueued,
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()
