@@ -34,7 +34,7 @@ func runExperimentBench(b *testing.B, name string, metrics ...string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		exp, err = repro.RunExperiment(name, wls)
+		exp, err = repro.Registry().Run(context.Background(), name, wls)
 		if err != nil {
 			b.Fatal(err)
 		}

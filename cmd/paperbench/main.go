@@ -40,6 +40,10 @@ func main() {
 		writeBase = flag.String("write-baseline", "", "write each experiment's results as golden baselines into this directory")
 		checkDir  = flag.String("check", "", "compare results against golden baselines in this directory; exit non-zero on drift")
 		relTol    = flag.Float64("tolerance", store.DefaultRelTol, "relative tolerance for -check summary-metric comparison")
+		suitePath = flag.String("suite", "", "run a pim-render/suite/v1 scenario file instead of the registry experiments")
+		tags      = flag.String("tags", "", "with -suite: comma list of tags a case must carry to run")
+		tier      = flag.String("tier", "", "with -suite: only run cases of this tier (smoke, standard, extended)")
+		difficult = flag.String("difficulty", "", "with -suite: only run cases of this difficulty")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
@@ -70,6 +74,31 @@ func main() {
 		}
 	}()
 
+	// Ctrl-C cancels the in-flight sweep (through the registry's context)
+	// instead of killing the process mid-simulation.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
+	// -suite switches to the declarative scenario path: the suite file
+	// supplies the specs, and -tags/-tier/-difficulty select cases.
+	if *suitePath != "" {
+		failed := runSuite(ctx, suiteFlags{
+			path: *suitePath, tags: *tags, tier: *tier, difficulty: *difficult,
+			jsonOut: *jsonOut, csvOut: *csvOut,
+			writeBase: *writeBase, checkDir: *checkDir, relTol: *relTol,
+		})
+		reportFarm(time.Since(wallStart))
+		reportStore()
+		if failed {
+			// os.Exit skips the deferred profiler stop; flush it first.
+			if err := prof.Stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+
 	var wls []repro.WorkloadSpec
 	switch strings.ToLower(*set) {
 	case "mini":
@@ -81,11 +110,6 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown workload set %q (mini, quick, full)", *set))
 	}
-
-	// Ctrl-C cancels the in-flight sweep (through the registry's context)
-	// instead of killing the process mid-simulation.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stopSignals()
 
 	reg := repro.Registry()
 	names := reg.Names()

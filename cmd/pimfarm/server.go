@@ -17,7 +17,6 @@ import (
 	"time"
 
 	"repro"
-	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/farm/admit"
@@ -26,81 +25,32 @@ import (
 	"repro/internal/obs/slogx"
 	"repro/internal/obs/telem"
 	"repro/internal/store"
-	"repro/internal/workload"
+	"repro/internal/suite"
 )
 
-// jobRequest is the POST /v1/jobs body: a render job as JSON options,
-// mirroring core.Options plus the workload selector.
-type jobRequest struct {
-	Game   string `json:"game"`
-	Width  int    `json:"width"`
-	Height int    `json:"height"`
-	Design string `json:"design"`
+// The POST /v1/jobs body is the canonical pim-render/spec/v1 simulation
+// spec (suite.Spec): the same document pimsim flags build, suite files
+// embed per case, dist lease grants carry, and the journal records —
+// one wire format, one Spec → core.Options/CacheKey mapping.
 
-	AngleThreshold       float32 `json:"angle_threshold,omitempty"`
-	DisableAniso         bool    `json:"disable_aniso,omitempty"`
-	FrameIndex           int     `json:"frame_index,omitempty"`
-	Frames               int     `json:"frames,omitempty"`
-	LinearLayout         bool    `json:"linear_layout,omitempty"`
-	DisableConsolidation bool    `json:"disable_consolidation,omitempty"`
-	MTUs                 int     `json:"mtus,omitempty"`
-	Compressed           bool    `json:"compressed,omitempty"`
-	HMCCubes             int     `json:"hmc_cubes,omitempty"`
-
-	// Shards is a host-speed knob (worker goroutines per frame); results
-	// are byte-identical at any value, so it is excluded from the dedup
-	// key — equal jobs differing only in shards collapse.
-	Shards int `json:"shards,omitempty"`
-
-	// Profile opts the job into frame-anatomy capture: when the job
-	// actually simulates (rather than being served from a cache tier or
-	// deduplicated onto an in-flight twin), its pim-render/frameprofile/v1
-	// artifact becomes available at GET /v1/jobs/{id}/profile. Runtime-only
-	// like Shards: excluded from the dedup key and from stored results.
-	Profile bool `json:"profile,omitempty"`
-
-	// Class is the admission priority class: "interactive" submissions are
-	// admitted (and, in dist mode, leased) ahead of queued "batch" work.
-	// Empty infers batch for multi-frame sweeps and interactive otherwise.
-	// Scheduling-only like Shards: excluded from the dedup key, so equal
-	// jobs submitted at different priorities still collapse.
-	Class string `json:"class,omitempty"`
-}
-
-// class resolves the request's admission class, inferring one when unset:
+// specClass resolves a spec's admission class, inferring one when unset:
 // a multi-frame sweep is batch work, a single frame is interactive.
-func (r *jobRequest) class() (admit.Class, error) {
-	if r.Class == "" {
-		if r.Frames > 1 {
+// Class inference is serving policy, so it lives here, not in the spec.
+func specClass(sp *suite.Spec) (admit.Class, error) {
+	if sp.Class == "" {
+		if sp.Frames > 1 {
 			return admit.Batch, nil
 		}
 		return admit.Interactive, nil
 	}
-	return admit.ParseClass(r.Class)
-}
-
-// options converts the request to simulator options.
-func (r *jobRequest) options(design config.Design) core.Options {
-	return core.Options{
-		Design:               design,
-		AngleThreshold:       r.AngleThreshold,
-		DisableAniso:         r.DisableAniso,
-		FrameIndex:           r.FrameIndex,
-		Frames:               r.Frames,
-		LinearLayout:         r.LinearLayout,
-		DisableConsolidation: r.DisableConsolidation,
-		MTUs:                 r.MTUs,
-		Compressed:           r.Compressed,
-		HMCCubes:             r.HMCCubes,
-		Shards:               r.Shards,
-	}
+	return admit.ParseClass(sp.Class)
 }
 
 // jobResponse is the GET /v1/jobs/{id} body: lifecycle view, the original
 // request, and — once the job is done — the pim-render/metrics/v1 snapshot.
 type jobResponse struct {
 	farm.View
-	Request *jobRequest   `json:"request,omitempty"`
+	Request *suite.Spec   `json:"request,omitempty"`
 	Result  *obs.Snapshot `json:"result,omitempty"`
 }
 
@@ -139,6 +89,11 @@ type server struct {
 	// every store and read, so the map is bounded without a janitor.
 	profiles   sync.Map // string -> profileEntry
 	profileTTL time.Duration
+
+	// suites tracks accepted suite runs (POST /v1/suites): each is a
+	// batch of ordinary farm jobs plus the grouping needed for the
+	// suite-level roll-up views. See suites.go.
+	suites suiteState
 }
 
 // profileEntry is one retained frame-anatomy artifact plus its capture
@@ -166,6 +121,10 @@ func newServer(f *farm.Farm, st *store.Store) *server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/suites", s.handleSuiteSubmit)
+	s.mux.HandleFunc("GET /v1/suites", s.handleSuiteList)
+	s.mux.HandleFunc("GET /v1/suites/{id}", s.handleSuiteGet)
+	s.mux.HandleFunc("GET /v1/suites/{id}/events", s.handleSuiteEvents)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
@@ -178,6 +137,9 @@ func newServer(f *farm.Farm, st *store.Store) *server {
 	s.mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET, DELETE"))
 	s.mux.HandleFunc("/v1/jobs/{id}/events", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/jobs/{id}/profile", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/suites", methodNotAllowed("GET, POST"))
+	s.mux.HandleFunc("/v1/suites/{id}", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/suites/{id}/events", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/experiments", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/healthz", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/varz", methodNotAllowed("GET"))
@@ -296,14 +258,14 @@ func (w *statusWriter) Flush() {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req jobRequest
+	var req suite.Spec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	class, err := req.class()
+	class, err := specClass(&req)
 	if err != nil {
 		httpError(w, r, http.StatusBadRequest, err)
 		return
@@ -422,47 +384,40 @@ func writeOverload(w http.ResponseWriter, r *http.Request, err error) {
 	})
 }
 
-// buildTask validates req and assembles the farm task. The Run closure
-// either simulates in-process (single-node mode) or dispatches to the
+// buildTask resolves the spec through the canonical Spec → Options/
+// CacheKey mapping and assembles the farm task. The Run closure either
+// simulates in-process (single-node mode) or dispatches to the
 // distributed coordinator (dist mode); everything else about the job —
 // dedup key, SSE lifecycle, retry budget, cache tiers — is identical in
 // both modes.
-func (s *server) buildTask(req *jobRequest, origin string) (farm.Task, error) {
-	design, err := parseDesign(req.Design)
+func (s *server) buildTask(req *suite.Spec, origin string) (farm.Task, error) {
+	rv, err := req.Resolve()
 	if err != nil {
-		return farm.Task{}, err
-	}
-	wl, err := workload.Get(req.Game, req.Width, req.Height)
-	if err != nil {
-		return farm.Task{}, err
-	}
-	opts := req.options(design)
-	if err := core.ValidateOptions(opts); err != nil {
 		return farm.Task{}, err
 	}
 	t := farm.Task{
-		Key:    core.CacheKey(wl, opts),
-		Label:  fmt.Sprintf("%s@%dx%d/%s", req.Game, req.Width, req.Height, design),
+		Key:    rv.Key,
+		Label:  req.Label(),
 		Origin: origin,
 		Meta:   req,
 	}
 	if s.coord != nil {
 		t.Run = s.distRun(req, t.Key, t.Label)
 	} else {
-		t.Run = s.localRun(req, wl, opts)
+		t.Run = s.localRun(req, rv)
 	}
 	return t, nil
 }
 
 // localRun executes the job in-process through the tiered cache path.
-func (s *server) localRun(req *jobRequest, wl workload.Workload, opts core.Options) func(context.Context) (any, error) {
+func (s *server) localRun(req *suite.Spec, rv suite.Resolved) func(context.Context) (any, error) {
 	return func(runCtx context.Context) (any, error) {
 		// The job's own context: canceled by DELETE /v1/jobs/{id},
 		// by a waiting client disconnecting, or on forced shutdown.
 		// Simulation progress is published onto the job's event stream
 		// (GET /v1/jobs/{id}/events); Progress is runtime-only and does
 		// not affect cache keys or stored results.
-		ropts := opts
+		ropts := rv.Options
 		var fp *obs.FrameProfile
 		j, hasJob := farm.JobFromContext(runCtx)
 		if hasJob {
@@ -476,7 +431,7 @@ func (s *server) localRun(req *jobRequest, wl workload.Workload, opts core.Optio
 			fp = &obs.FrameProfile{}
 			ropts.Profile = fp
 		}
-		res, err := core.RunCachedContext(runCtx, wl, ropts)
+		res, err := core.RunCachedContext(runCtx, rv.Workload, ropts)
 		if err != nil {
 			return nil, err
 		}
@@ -498,7 +453,7 @@ func (s *server) localRun(req *jobRequest, wl workload.Workload, opts core.Optio
 // learns the work is dead and aborts. Frame-anatomy capture ("profile":
 // true) is a no-op in dist mode: profiles are runtime artifacts of the
 // process that simulates, which is the worker, not the coordinator.
-func (s *server) distRun(req *jobRequest, key, label string) func(context.Context) (any, error) {
+func (s *server) distRun(req *suite.Spec, key, label string) func(context.Context) (any, error) {
 	return func(runCtx context.Context) (any, error) {
 		spec, err := json.Marshal(req)
 		if err != nil {
@@ -537,7 +492,7 @@ func (s *server) distRun(req *jobRequest, key, label string) func(context.Contex
 // the farm. The journal record is settled when the job reaches a terminal
 // state; a job accepted but never settled — the coordinator died first —
 // replays on the next start.
-func (s *server) submit(ctx context.Context, t farm.Task, req *jobRequest) (*farm.Job, error) {
+func (s *server) submit(ctx context.Context, t farm.Task, req *suite.Spec) (*farm.Job, error) {
 	var recID string
 	if s.journal != nil {
 		spec, err := json.Marshal(req)
@@ -598,7 +553,7 @@ func (s *server) replayJournal() {
 	}
 	recovered := 0
 	for _, rec := range pend {
-		var req jobRequest
+		var req suite.Spec
 		if err := json.Unmarshal(rec.Spec, &req); err != nil {
 			s.log.Error("journal replay: bad spec", "rec", rec.ID, "err", err.Error())
 			_ = s.journal.Terminal(rec.ID, dist.OpFailed)
@@ -670,7 +625,7 @@ func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 // request, and the metrics snapshot once the job is done.
 func (s *server) writeJob(w http.ResponseWriter, status int, j *farm.Job) {
 	resp := jobResponse{View: j.View()}
-	if req, ok := j.Meta().(*jobRequest); ok {
+	if req, ok := j.Meta().(*suite.Spec); ok {
 		resp.Request = req
 	}
 	if v, err := j.Result(); err == nil {
@@ -923,21 +878,6 @@ func methodNotAllowed(allow string) http.HandlerFunc {
 // handleUnknown answers a JSON 404 for paths outside the API surface.
 func handleUnknown(w http.ResponseWriter, r *http.Request) {
 	httpError(w, r, http.StatusNotFound, fmt.Errorf("no such endpoint %q", r.URL.Path))
-}
-
-func parseDesign(s string) (config.Design, error) {
-	switch strings.ToLower(s) {
-	case "", "baseline":
-		return config.Baseline, nil
-	case "bpim", "b-pim":
-		return config.BPIM, nil
-	case "stfim", "s-tfim":
-		return config.STFIM, nil
-	case "atfim", "a-tfim":
-		return config.ATFIM, nil
-	default:
-		return 0, fmt.Errorf("unknown design %q (baseline, bpim, stfim, atfim)", s)
-	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

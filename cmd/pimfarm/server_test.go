@@ -524,8 +524,8 @@ func TestParseDesign(t *testing.T) {
 		"baseline": false, "bpim": false, "B-PIM": false, "stfim": false,
 		"atfim": false, "A-TFIM": false, "": false, "gddr7": true,
 	} {
-		if _, err := parseDesign(in); (err != nil) != wantErr {
-			t.Errorf("parseDesign(%q) err = %v, wantErr %v", in, err, wantErr)
+		if _, err := repro.ParseDesign(in); (err != nil) != wantErr {
+			t.Errorf("ParseDesign(%q) err = %v, wantErr %v", in, err, wantErr)
 		}
 	}
 	// Sanity: label formatting used in Submit.

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/farm/admit"
+)
+
+const testSuiteDoc = `{
+  "schema": "pim-render/suite/v1",
+  "name": "mini",
+  "defaults": {"width": 160, "height": 120},
+  "cases": [
+    {"id": "wolf-base", "tags": ["wolf"], "tier": "smoke", "spec": {"game": "wolf"}},
+    {"id": "riddick-bpim", "tags": ["riddick"], "tier": "standard", "spec": {"game": "riddick", "design": "bpim"}}
+  ]
+}`
+
+func postSuite(t *testing.T, ts *httptest.Server, path, body string) (suiteResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr suiteResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sr, resp.StatusCode
+}
+
+func pollSuite(t *testing.T, ts *httptest.Server, id string) suiteResponse {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/suites/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr suiteResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.State != "running" {
+			return sr
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("suite %s did not settle", id)
+	return suiteResponse{}
+}
+
+func TestSuiteSubmitAndRollup(t *testing.T) {
+	ts, _ := newTestServer(t)
+	sr, code := postSuite(t, ts, "/v1/suites", testSuiteDoc)
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	if sr.Name != "mini" || sr.Total != 2 || len(sr.Cases) != 2 {
+		t.Fatalf("accepted view %+v", sr)
+	}
+	if sr.Cases[0].Case != "wolf-base" || sr.Cases[1].Case != "riddick-bpim" {
+		t.Fatalf("case order %+v", sr.Cases)
+	}
+	final := pollSuite(t, ts, sr.ID)
+	if final.State != "done" || final.Done != 2 {
+		t.Fatalf("final view %+v", final)
+	}
+	for _, c := range final.Cases {
+		if c.State != "done" || c.Error != "" {
+			t.Fatalf("case %+v not done", c)
+		}
+		// Every case is an ordinary farm job with the full job surface.
+		jr := pollJob(t, ts, c.Job)
+		if jr.Result == nil || jr.Result.Cycles == 0 {
+			t.Fatalf("case job %s has no result", c.Job)
+		}
+		if jr.Request == nil || jr.Request.Game == "" {
+			t.Fatalf("case job %s lost its spec", c.Job)
+		}
+	}
+	// The suite shows up in the listing.
+	resp, err := http.Get(ts.URL + "/v1/suites")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Suites []suiteResponse `json:"suites"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil || len(list.Suites) != 1 || list.Suites[0].ID != sr.ID {
+		t.Fatalf("listing %+v err %v", list, err)
+	}
+}
+
+func TestSuiteFilterQuery(t *testing.T) {
+	ts, _ := newTestServer(t)
+	sr, code := postSuite(t, ts, "/v1/suites?tier=smoke", testSuiteDoc)
+	if code != http.StatusAccepted || sr.Total != 1 || sr.Cases[0].Case != "wolf-base" {
+		t.Fatalf("status %d view %+v", code, sr)
+	}
+	if _, code := postSuite(t, ts, "/v1/suites?tags=nope", testSuiteDoc); code != http.StatusBadRequest {
+		t.Fatalf("empty selection status %d", code)
+	}
+}
+
+func TestSuiteRejectsBadDocuments(t *testing.T) {
+	ts, _ := newTestServer(t)
+	bad := []struct{ name, doc string }{
+		{"not json", "{"},
+		{"unknown field", strings.Replace(testSuiteDoc, `"name": "mini",`, `"name": "mini", "zz": 1,`, 1)},
+		{"bad case spec", strings.Replace(testSuiteDoc, `"game": "wolf"`, `"game": "quake9"`, 1)},
+		{"duplicate ids", strings.Replace(testSuiteDoc, `"id": "riddick-bpim"`, `"id": "wolf-base"`, 1)},
+	}
+	for _, c := range bad {
+		resp, err := http.Post(ts.URL+"/v1/suites", "application/json", strings.NewReader(c.doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d", c.name, resp.StatusCode)
+		}
+		// Same error shape as the rest of the API: {"error", "request_id"}.
+		if err != nil || body["error"] == "" || body["request_id"] == "" {
+			t.Errorf("%s: error body %v (err %v)", c.name, body, err)
+		}
+	}
+}
+
+func TestSuiteUnknownAndMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/suites/s-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown suite status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/suites", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /v1/suites status %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Fatalf("Allow header %q", allow)
+	}
+}
+
+// TestSuiteWiderThanSlotPool: a suite with more cases than admission
+// slots must drain through the pool (admit one / submit one, slots
+// released as cases settle) instead of deadlocking against its own
+// unsubmitted jobs while holding every ticket up front.
+func TestSuiteWiderThanSlotPool(t *testing.T) {
+	ts, _ := newAdmitServer(t, []admit.Tenant{{Name: "dev"}},
+		admit.Config{Slots: 1, QueueDepth: 8})
+	sr, code := postSuite(t, ts, "/v1/suites?tenant=dev", testSuiteDoc)
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	if sr.Total != 2 {
+		t.Fatalf("accepted view %+v", sr)
+	}
+	final := pollSuite(t, ts, sr.ID)
+	if final.State != "done" || final.Done != 2 {
+		t.Fatalf("final view %+v", final)
+	}
+	// The cases ran as the tenant, under an admission ticket each.
+	for _, c := range final.Cases {
+		jr := pollJob(t, ts, c.Job)
+		if jr.Tenant != "dev" {
+			t.Fatalf("case job %s tenant %q", c.Job, jr.Tenant)
+		}
+	}
+}
+
+func TestSuiteEventsStream(t *testing.T) {
+	ts, _ := newTestServer(t)
+	sr, code := postSuite(t, ts, "/v1/suites", testSuiteDoc)
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/suites/" + sr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	// Count "case" events and require a terminal "end" with the roll-up.
+	var caseEvents int
+	var sawEnd bool
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var event string
+	for scanner.Scan() {
+		line := scanner.Text()
+		if after, ok := strings.CutPrefix(line, "event: "); ok {
+			event = after
+			continue
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			switch event {
+			case "case":
+				caseEvents++
+			case "end":
+				var final suiteResponse
+				if err := json.Unmarshal([]byte(data), &final); err != nil {
+					t.Fatal(err)
+				}
+				if final.State != "done" || final.Done != 2 {
+					t.Fatalf("end roll-up %+v", final)
+				}
+				sawEnd = true
+			}
+		}
+		if sawEnd {
+			break
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if caseEvents != 2 || !sawEnd {
+		t.Fatalf("saw %d case events, end=%v", caseEvents, sawEnd)
+	}
+}

@@ -24,7 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/slogx"
 	"repro/internal/store"
-	"repro/internal/workload"
+	"repro/internal/suite"
 )
 
 // workerMain is the `pimfarm worker` entry point.
@@ -94,35 +94,32 @@ func workerMain(args []string) {
 	log.Info("worker stopped", "id", *id)
 }
 
-// execGrant simulates one leased job: the grant spec is the jobRequest the
-// coordinator accepted, the result payload the pim-render/result/v1
-// document the coordinator decodes. Decoding is lenient (unknown fields
-// ignored) so a slightly newer coordinator can still feed an older worker.
-// Simulation progress flows through the progress callback, which the
-// coordinator republishes onto the job's SSE stream.
+// execGrant simulates one leased job: the grant spec is the canonical
+// pim-render/spec/v1 document (suite.Spec) the coordinator accepted, the
+// result payload the pim-render/result/v1 document the coordinator
+// decodes. Decoding is lenient (unknown fields ignored) so a slightly
+// newer coordinator can still feed an older worker; the spec then
+// re-resolves through the same Spec → Options/CacheKey mapping the
+// coordinator used, and the worker refuses a grant whose spec keys
+// differently (simulator version skew). Simulation progress flows through
+// the progress callback, which the coordinator republishes onto the job's
+// SSE stream.
 func execGrant(ctx context.Context, g *dist.Grant, progress func(any)) ([]byte, error) {
-	var req jobRequest
+	var req suite.Spec
 	if err := json.Unmarshal(g.Spec, &req); err != nil {
 		return nil, fmt.Errorf("decode spec: %w", err)
 	}
-	design, err := parseDesign(req.Design)
+	rv, err := req.Resolve()
 	if err != nil {
 		return nil, err
 	}
-	wl, err := workload.Get(req.Game, req.Width, req.Height)
-	if err != nil {
-		return nil, err
+	if rv.Key != g.Key {
+		return nil, fmt.Errorf("spec keys to %q but lease granted %q (simulator version skew?)", rv.Key, g.Key)
 	}
-	opts := req.options(design)
-	if err := core.ValidateOptions(opts); err != nil {
-		return nil, err
-	}
-	if key := core.CacheKey(wl, opts); key != g.Key {
-		return nil, fmt.Errorf("spec keys to %q but lease granted %q (simulator version skew?)", key, g.Key)
-	}
+	opts := rv.Options
 	opts.Progress = func(p core.Progress) { progress(p) }
 	start := time.Now()
-	res, err := core.RunCachedContext(ctx, wl, opts)
+	res, err := core.RunCachedContext(ctx, rv.Workload, opts)
 	if err != nil {
 		return nil, err
 	}

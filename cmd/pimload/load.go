@@ -11,8 +11,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/suite"
 )
 
 // tenantSpec is one entry of the -tenants mix.
@@ -110,20 +109,10 @@ type loadConfig struct {
 	Timeout     time.Duration
 }
 
-// jobBody mirrors the pimfarm jobRequest fields pimload submits.
-type jobBody struct {
-	Game       string `json:"game"`
-	Width      int    `json:"width"`
-	Height     int    `json:"height"`
-	Design     string `json:"design"`
-	FrameIndex int    `json:"frame_index,omitempty"`
-	Frames     int    `json:"frames,omitempty"`
-	Class      string `json:"class,omitempty"`
-}
-
-// request builds the job body for a spec index and class shape.
-func (c loadConfig) request(frameIndex int, batch bool) jobBody {
-	b := jobBody{
+// request builds the job body — the canonical pim-render/spec/v1
+// document pimfarm accepts — for a spec index and class shape.
+func (c loadConfig) request(frameIndex int, batch bool) suite.Spec {
+	b := suite.Spec{
 		Game:       c.Game,
 		Width:      c.Width,
 		Height:     c.Height,
@@ -136,30 +125,6 @@ func (c loadConfig) request(frameIndex int, batch bool) jobBody {
 		b.Frames = c.BatchFrames
 	}
 	return b
-}
-
-// coreOptions converts the body to simulator options for the -verify
-// in-process serial replay; Class is scheduling-only and dropped.
-func (b jobBody) coreOptions() (core.Options, error) {
-	var design config.Design
-	switch strings.ToLower(b.Design) {
-	case "", "baseline":
-		design = config.Baseline
-	case "bpim", "b-pim":
-		design = config.BPIM
-	case "stfim", "s-tfim":
-		design = config.STFIM
-	case "atfim", "a-tfim":
-		design = config.ATFIM
-	default:
-		return core.Options{}, fmt.Errorf("unknown design %q", b.Design)
-	}
-	return core.Options{
-		Design:     design,
-		FrameIndex: b.FrameIndex,
-		Frames:     b.Frames,
-		Shards:     1, // serial: the unloaded reference run
-	}, nil
 }
 
 // sample is one arrival's outcome.
@@ -237,7 +202,7 @@ func runLoad(ctx context.Context, cfg loadConfig) ([]sample, time.Duration) {
 
 // submitOne performs one synchronous job submission and classifies the
 // outcome.
-func submitOne(ctx context.Context, client *http.Client, target string, tenant tenantSpec, body jobBody) sample {
+func submitOne(ctx context.Context, client *http.Client, target string, tenant tenantSpec, body suite.Spec) sample {
 	s := sample{
 		Tenant:     tenant.Name,
 		Class:      body.Class,

@@ -27,7 +27,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -127,16 +126,14 @@ func verifyResults(cfg loadConfig, samples []sample) (int, error) {
 		}
 		bySpec[k] = s.ResultHash
 	}
-	wl, err := workload.Get(cfg.Game, cfg.Width, cfg.Height)
-	if err != nil {
-		return 0, err
-	}
 	for k, want := range bySpec {
-		opts, err := cfg.request(k.FrameIndex, k.Batch).coreOptions()
+		sp := cfg.request(k.FrameIndex, k.Batch)
+		sp.Shards = 1 // serial: the unloaded reference run
+		rv, err := sp.Resolve()
 		if err != nil {
 			return 0, err
 		}
-		res, err := core.RunCachedContext(context.Background(), wl, opts)
+		res, err := core.RunCachedContext(context.Background(), rv.Workload, rv.Options)
 		if err != nil {
 			return 0, err
 		}

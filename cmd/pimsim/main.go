@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 
 	"repro"
 	"repro/internal/config"
@@ -58,44 +57,50 @@ func main() {
 		}
 	}()
 
-	design, err := parseDesign(*designStr)
+	// The flags assemble the canonical pim-render/spec/v1 document — the
+	// same spec a pimfarm job body or suite case carries — so pimsim keys,
+	// caches and simulates identically to every other surface.
+	spec := repro.Spec{
+		Game:           *game,
+		Width:          *width,
+		Height:         *height,
+		Design:         *designStr,
+		AngleThreshold: float32(*threshold),
+		DisableAniso:   *noAniso,
+		Compressed:     *compressed,
+		HMCCubes:       *cubes,
+		Frames:         *frames,
+		Shards:         *shards,
+	}
+	design, err := repro.ParseDesign(*designStr)
 	if err != nil {
 		fatal(err)
 	}
-	wl, err := repro.Workload(*game, *width, *height)
+	rv, err := spec.Resolve()
 	if err != nil {
 		fatal(err)
 	}
+	wl := rv.Workload
 
 	// Ctrl-C cancels the simulation at the next tile-group boundary (the
 	// v2 context-aware entry point) instead of killing the process mid-run.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	simOpts := []repro.Option{
-		repro.WithDesign(design),
-		repro.WithAngleThreshold(float32(*threshold)),
-		repro.WithHMCCubes(*cubes),
-		repro.WithFrames(*frames),
-		repro.WithShards(*shards),
-	}
-	if *noAniso {
-		simOpts = append(simOpts, repro.WithAnisoDisabled())
-	}
-	if *compressed {
-		simOpts = append(simOpts, repro.WithCompression())
-	}
+	// Tracing and frame profiling are runtime-only extras layered on top of
+	// the spec: they never change simulated results or the cache identity.
+	var extra []repro.Option
 	var tracer *repro.Tracer
 	if *traceFile != "" {
 		tracer = repro.NewTracer(traceCap)
-		simOpts = append(simOpts, repro.WithTracer(tracer))
+		extra = append(extra, repro.WithTracer(tracer))
 	}
 	var profile *repro.FrameProfile
 	if *profFile != "" {
 		profile = &repro.FrameProfile{}
-		simOpts = append(simOpts, repro.WithFrameProfile(profile))
+		extra = append(extra, repro.WithFrameProfile(profile))
 	}
-	res, err := repro.SimulateContext(ctx, wl, simOpts...)
+	res, err := repro.SimulateSpec(ctx, &spec, extra...)
 	if err != nil {
 		fatal(err)
 	}
@@ -203,21 +208,6 @@ func writePNG(res *repro.Result, path string, note *os.File) {
 		fatal(err)
 	}
 	fmt.Fprintf(note, "frame written   %s\n", path)
-}
-
-func parseDesign(s string) (repro.Design, error) {
-	switch strings.ToLower(s) {
-	case "baseline", "base":
-		return config.Baseline, nil
-	case "bpim", "b-pim":
-		return config.BPIM, nil
-	case "stfim", "s-tfim":
-		return config.STFIM, nil
-	case "atfim", "a-tfim":
-		return config.ATFIM, nil
-	default:
-		return 0, fmt.Errorf("unknown design %q (baseline, bpim, stfim, atfim)", s)
-	}
 }
 
 func energyBreakdown(res *repro.Result) string {

@@ -113,7 +113,7 @@ func verifyTrace(path string, replay bool, designStr, traceFile string, traceCap
 		return nil
 	}
 
-	design, err := parseDesign(designStr)
+	design, err := config.ParseDesign(designStr)
 	if err != nil {
 		return err
 	}
@@ -157,21 +157,6 @@ func verifyTrace(path string, replay bool, designStr, traceFile string, traceCap
 		}
 	}
 	return nil
-}
-
-func parseDesign(s string) (config.Design, error) {
-	switch strings.ToLower(s) {
-	case "baseline", "base":
-		return config.Baseline, nil
-	case "bpim", "b-pim":
-		return config.BPIM, nil
-	case "stfim", "s-tfim":
-		return config.STFIM, nil
-	case "atfim", "a-tfim":
-		return config.ATFIM, nil
-	default:
-		return 0, fmt.Errorf("unknown design %q (baseline, bpim, stfim, atfim)", s)
-	}
 }
 
 func fatal(err error) {

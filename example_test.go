@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -47,8 +48,8 @@ func ExampleSimulate_angleThreshold() {
 }
 
 // Regenerating one of the paper's figures over a workload set.
-func ExampleRunExperiment() {
-	exp, err := repro.RunExperiment("fig12", repro.MiniSet())
+func ExampleRegistry() {
+	exp, err := repro.Registry().Run(context.Background(), "fig12", repro.MiniSet())
 	if err != nil {
 		log.Fatal(err)
 	}

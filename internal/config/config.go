@@ -6,6 +6,7 @@ package config
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Design selects which of the paper's four architectures to simulate.
@@ -43,6 +44,27 @@ func (d Design) String() string {
 
 // AllDesigns lists the four designs in the paper's presentation order.
 func AllDesigns() []Design { return []Design{Baseline, BPIM, STFIM, ATFIM} }
+
+// ParseDesign resolves a design name to its Design value. It is the single
+// design-name parser every surface (flags, job specs, suite files) goes
+// through, and it round-trips String(): ParseDesign(d.String()) == d for
+// every design. Accepted spellings are case-insensitive, with or without
+// the paper's hyphen ("atfim" and "A-TFIM" both work); the empty string
+// selects the Baseline so omitted JSON fields default sensibly.
+func ParseDesign(s string) (Design, error) {
+	switch strings.ToLower(strings.ReplaceAll(s, "-", "")) {
+	case "", "baseline", "base":
+		return Baseline, nil
+	case "bpim":
+		return BPIM, nil
+	case "stfim":
+		return STFIM, nil
+	case "atfim":
+		return ATFIM, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q (baseline, bpim, stfim, atfim)", s)
+	}
+}
 
 // Camera-angle thresholds (radians) from Section VII-D. The default is
 // 0.01pi (1.8 degrees).

@@ -80,6 +80,42 @@ func TestDesignStrings(t *testing.T) {
 	}
 }
 
+func TestParseDesign(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Design
+		err  bool
+	}{
+		{"", Baseline, false},
+		{"baseline", Baseline, false},
+		{"base", Baseline, false},
+		{"bpim", BPIM, false},
+		{"B-PIM", BPIM, false},
+		{"stfim", STFIM, false},
+		{"ATFIM", ATFIM, false},
+		{"a-tfim", ATFIM, false},
+		{"gddr7", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseDesign(c.in)
+		if c.err != (err != nil) {
+			t.Errorf("ParseDesign(%q) err=%v want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseDesign(%q)=%v want %v", c.in, got, c.want)
+		}
+	}
+	// Every design's display name must parse back to itself, so labels in
+	// job listings and suite files are valid design spellings.
+	for _, d := range []Design{Baseline, BPIM, STFIM, ATFIM} {
+		got, err := ParseDesign(d.String())
+		if err != nil || got != d {
+			t.Errorf("round-trip %v: ParseDesign(%q)=%v err=%v", d, d.String(), got, err)
+		}
+	}
+}
+
 func TestAngleThresholdsOrderedStrictFirst(t *testing.T) {
 	ths := AngleThresholds()
 	if len(ths) != 5 {

@@ -1,6 +1,7 @@
 package farm_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -20,7 +21,7 @@ func benchmarkFarmSweep(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.ClearRunCache()
-		if _, err := repro.RunExperiment("fig10", wls); err != nil {
+		if _, err := repro.Registry().Run(context.Background(), "fig10", wls); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -54,7 +55,7 @@ func BenchmarkFarmSweepColdStore(b *testing.B) {
 		core.SetResultStore(st)
 		core.ClearRunCache()
 		b.StartTimer()
-		if _, err := repro.RunExperiment("fig10", wls); err != nil {
+		if _, err := repro.Registry().Run(context.Background(), "fig10", wls); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,7 +79,7 @@ func BenchmarkFarmSweepWarmStore(b *testing.B) {
 		core.SetResultStore(nil)
 		core.ClearRunCache()
 	})
-	if _, err := repro.RunExperiment("fig10", wls); err != nil {
+	if _, err := repro.Registry().Run(context.Background(), "fig10", wls); err != nil {
 		b.Fatal(err)
 	}
 	if st.Counters().Puts == 0 {
@@ -89,7 +90,7 @@ func BenchmarkFarmSweepWarmStore(b *testing.B) {
 		b.StopTimer()
 		core.ClearRunCache()
 		b.StartTimer()
-		if _, err := repro.RunExperiment("fig10", wls); err != nil {
+		if _, err := repro.Registry().Run(context.Background(), "fig10", wls); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,8 +7,9 @@
 //
 // Like internal/farm, the package is independent of the simulator: a Job
 // carries an opaque JSON spec and workers return an opaque byte payload,
-// so cmd/pimfarm supplies the encode/execute/decode glue (specs are its
-// jobRequest bodies; payloads are pim-render/result/v1 documents) without
+// so cmd/pimfarm supplies the encode/execute/decode glue (specs are
+// pim-render/spec/v1 documents; payloads are pim-render/result/v1
+// documents) without
 // an import cycle. The coordinator plugs in as the body of a farm Task's
 // Run closure: the farm keeps job lifecycle, SSE event streams, retry
 // budget, singleflight dedup, and the memory/store cache tiers; dist adds
@@ -35,7 +36,8 @@ type Job struct {
 	// empty) queues at batch priority.
 	Class string
 	// Spec is the opaque job description a worker's Exec understands
-	// (cmd/pimfarm marshals its jobRequest here).
+	// (cmd/pimfarm marshals the canonical pim-render/spec/v1 document
+	// here).
 	Spec json.RawMessage
 	// OnProgress, when non-nil, receives progress documents forwarded by
 	// the executing worker (raw JSON, published verbatim onto the farm

@@ -1,0 +1,239 @@
+package suite
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Schema identifies the suite document layout.
+const Schema = "pim-render/suite/v1"
+
+// Tiers a case may declare. The zero value (no tier) is always selected
+// unless a filter asks for a specific tier.
+const (
+	TierSmoke    = "smoke"
+	TierStandard = "standard"
+	TierExtended = "extended"
+)
+
+// Suite is a declarative scenario set: named cases, each carrying one
+// canonical Spec plus selection metadata, with optional per-metric golden
+// tolerances. Scenario coverage grows by adding suite files, not Go code.
+type Suite struct {
+	Schema      string `json:"schema"`
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Defaults, when present, seeds every case's spec: a case field with a
+	// zero value inherits the default. Resolution ladders set game knobs
+	// once and let cases override only width/height.
+	Defaults *Spec `json:"defaults,omitempty"`
+	// Tolerances maps "<case-id>.<metric>" to a relative tolerance for
+	// golden-baseline checking, overriding the checker default for that one
+	// comparison (same shape as golden tolerances.json files).
+	Tolerances map[string]float64 `json:"tolerances,omitempty"`
+	Cases      []Case             `json:"cases"`
+}
+
+// Case is one scenario of a suite.
+type Case struct {
+	// ID names the case uniquely within the suite; it becomes the golden
+	// baseline filename and the per-case label in farm job listings.
+	ID string `json:"id"`
+	// Tags are free-form selection labels ("doom3", "ladder", "aniso").
+	Tags []string `json:"tags,omitempty"`
+	// Tier buckets the case by cost ("smoke", "standard", "extended").
+	Tier string `json:"tier,omitempty"`
+	// Difficulty buckets the case by how hard the scenario stresses the
+	// simulator ("easy", "medium", "hard").
+	Difficulty string `json:"difficulty,omitempty"`
+	// Spec is the canonical simulation spec the case runs.
+	Spec Spec `json:"spec"`
+}
+
+// HasTag reports whether the case carries the tag (case-insensitive).
+func (c *Case) HasTag(tag string) bool {
+	for _, t := range c.Tags {
+		if strings.EqualFold(t, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Parse decodes and validates a suite/v1 document. Decoding is strict:
+// unknown fields anywhere in the document are rejected, so a misspelled
+// knob fails the load instead of silently running the default.
+func Parse(data []byte) (*Suite, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Suite
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("suite: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a suite file.
+func Load(path string) (*Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("suite: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// validate checks the structural invariants the loaders guarantee: schema,
+// a name, at least one case, unique well-formed case IDs, resolvable
+// specs, and tolerance overrides that reference real cases with positive
+// values.
+func (s *Suite) validate() error {
+	if s.Schema != Schema {
+		return fmt.Errorf("suite: schema %q (want %q)", s.Schema, Schema)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("suite: missing name")
+	}
+	if len(s.Cases) == 0 {
+		return fmt.Errorf("suite %s: no cases", s.Name)
+	}
+	ids := make(map[string]bool, len(s.Cases))
+	for i := range s.Cases {
+		c := &s.Cases[i]
+		if c.ID == "" {
+			return fmt.Errorf("suite %s: case %d has no id", s.Name, i)
+		}
+		if strings.ContainsAny(c.ID, `/\ `) {
+			return fmt.Errorf("suite %s: case id %q must not contain slashes or spaces (it names a golden baseline file)", s.Name, c.ID)
+		}
+		if ids[c.ID] {
+			return fmt.Errorf("suite %s: duplicate case id %q", s.Name, c.ID)
+		}
+		ids[c.ID] = true
+		spec := s.caseSpec(c)
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("suite %s: case %s: %w", s.Name, c.ID, err)
+		}
+	}
+	for key, tol := range s.Tolerances {
+		caseID, metric, ok := strings.Cut(key, ".")
+		if !ok || metric == "" {
+			return fmt.Errorf("suite %s: tolerance key %q is not \"<case-id>.<metric>\"", s.Name, key)
+		}
+		if !ids[caseID] {
+			return fmt.Errorf("suite %s: tolerance %q references unknown case %q", s.Name, key, caseID)
+		}
+		if tol <= 0 {
+			return fmt.Errorf("suite %s: tolerance %q must be positive, got %g", s.Name, key, tol)
+		}
+	}
+	return nil
+}
+
+// caseSpec materializes a case's effective spec: the suite defaults with
+// the case's non-zero fields layered on top.
+func (s *Suite) caseSpec(c *Case) Spec {
+	if s.Defaults == nil {
+		return c.Spec
+	}
+	spec := *s.Defaults
+	spec.Schema = "" // the envelope already identified the document
+	overlaySpec(&spec, &c.Spec)
+	return spec
+}
+
+// overlaySpec copies every non-zero field of src over dst. Boolean knobs
+// are or-ed: a default of true cannot be un-set per case (declare such
+// knobs per case instead of in defaults).
+func overlaySpec(dst, src *Spec) {
+	if src.Game != "" {
+		dst.Game = src.Game
+	}
+	if src.Width != 0 {
+		dst.Width = src.Width
+	}
+	if src.Height != 0 {
+		dst.Height = src.Height
+	}
+	if src.Design != "" {
+		dst.Design = src.Design
+	}
+	if src.AngleThreshold != 0 {
+		dst.AngleThreshold = src.AngleThreshold
+	}
+	if src.FrameIndex != 0 {
+		dst.FrameIndex = src.FrameIndex
+	}
+	if src.Frames != 0 {
+		dst.Frames = src.Frames
+	}
+	if src.MTUs != 0 {
+		dst.MTUs = src.MTUs
+	}
+	if src.HMCCubes != 0 {
+		dst.HMCCubes = src.HMCCubes
+	}
+	if src.Shards != 0 {
+		dst.Shards = src.Shards
+	}
+	if src.Class != "" {
+		dst.Class = src.Class
+	}
+	dst.DisableAniso = dst.DisableAniso || src.DisableAniso
+	dst.LinearLayout = dst.LinearLayout || src.LinearLayout
+	dst.DisableConsolidation = dst.DisableConsolidation || src.DisableConsolidation
+	dst.Compressed = dst.Compressed || src.Compressed
+	dst.Profile = dst.Profile || src.Profile
+}
+
+// Filter selects cases by metadata. Zero-value fields match everything;
+// set fields must all match (AND semantics). Tags require every listed tag
+// to be present on the case.
+type Filter struct {
+	// Tags the case must carry (all of them, case-insensitive).
+	Tags []string
+	// Tier the case must declare (case-insensitive exact match).
+	Tier string
+	// Difficulty the case must declare (case-insensitive exact match).
+	Difficulty string
+}
+
+// Matches reports whether the case passes the filter.
+func (f Filter) Matches(c *Case) bool {
+	for _, tag := range f.Tags {
+		if !c.HasTag(tag) {
+			return false
+		}
+	}
+	if f.Tier != "" && !strings.EqualFold(f.Tier, c.Tier) {
+		return false
+	}
+	if f.Difficulty != "" && !strings.EqualFold(f.Difficulty, c.Difficulty) {
+		return false
+	}
+	return true
+}
+
+// Select returns the suite's cases passing the filter, in declaration
+// order, each with its effective (defaults-merged) spec materialized.
+func (s *Suite) Select(f Filter) []Case {
+	var out []Case
+	for i := range s.Cases {
+		c := s.Cases[i]
+		if !f.Matches(&c) {
+			continue
+		}
+		c.Spec = s.caseSpec(&s.Cases[i])
+		out = append(out, c)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro"
@@ -59,19 +60,26 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Fatalf("duplicate experiment %q", n)
 		}
 		seen[n] = true
+		d, ok := repro.Registry().Get(n)
+		if !ok {
+			t.Fatalf("experiment %q listed but not gettable", n)
+		}
+		// The deprecated v1 maps wrap the registry; they must partition
+		// exactly along its Static flag.
 		inDynamic := repro.Experiments()[n] != nil
 		inStatic := repro.StaticExperiments()[n] != nil
-		if inDynamic == inStatic {
-			t.Fatalf("experiment %q registered in %v dynamic / %v static", n, inDynamic, inStatic)
+		if inDynamic == inStatic || inStatic != d.Static {
+			t.Fatalf("experiment %q: static=%v but dynamic-map=%v static-map=%v",
+				n, d.Static, inDynamic, inStatic)
 		}
 	}
-	if _, err := repro.RunExperiment("nope", nil); err == nil {
+	if _, err := repro.Registry().Run(context.Background(), "nope", nil); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunStaticExperiment(t *testing.T) {
-	e, err := repro.RunExperiment("table1", nil)
+	e, err := repro.Registry().Run(context.Background(), "table1", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
