@@ -73,6 +73,8 @@ func main() {
 		admitTimeout = flag.Duration("admit-timeout", 30*time.Second, "max wait in the admission queue before a submission is shed with 429")
 		profileTTL   = flag.Duration("profile-ttl", 15*time.Minute, "prune finished jobs' frame-anatomy profile artifacts after this age (<= 0 keeps them for the job's lifetime)")
 		eventTTL     = flag.Duration("event-ttl", farm.DefaultEventRetention, "compact finished jobs' SSE replay history after this age (negative disables)")
+		traceSample  = flag.Float64("trace-sample", 1.0, "fraction of jobs given a distributed-trace timeline (GET /v1/jobs/{id}/trace); 0 disables tracing")
+		traceTTL     = flag.Duration("trace-ttl", 15*time.Minute, "prune finished jobs' trace timelines after this age (<= 0 keeps them for the job's lifetime)")
 	)
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -145,6 +147,8 @@ func main() {
 	api.log = log
 	api.pprofOn = *pprofOn
 	api.profileTTL = *profileTTL
+	api.traceSample = *traceSample
+	api.traceTTL = *traceTTL
 
 	// Admission control always fronts submissions; without -tenants it
 	// runs with an open tenant set (any name, no rate or quota limits), so

@@ -22,6 +22,7 @@ import (
 	"repro/internal/farm/admit"
 	"repro/internal/farm/dist"
 	"repro/internal/obs"
+	"repro/internal/obs/dtrace"
 	"repro/internal/obs/slogx"
 	"repro/internal/obs/telem"
 	"repro/internal/store"
@@ -90,6 +91,16 @@ type server struct {
 	profiles   sync.Map // string -> profileEntry
 	profileTTL time.Duration
 
+	// Distributed tracing (see trace.go). traceSample is the fraction of
+	// jobs minted a sampled trace context at submission; traces retains
+	// assembled per-job timelines (same pruning discipline as profiles,
+	// bounded by traceTTL); tsum aggregates stage durations for GET
+	// /v1/traces/summary.
+	traceSample float64
+	traceTTL    time.Duration
+	traces      sync.Map // string -> traceEntry
+	tsum        *dtrace.Summary
+
 	// suites tracks accepted suite runs (POST /v1/suites): each is a
 	// batch of ordinary farm jobs plus the grouping needed for the
 	// suite-level roll-up views. See suites.go.
@@ -109,17 +120,21 @@ type profileEntry struct {
 // them via the exported fields before serving.
 func newServer(f *farm.Farm, st *store.Store) *server {
 	s := &server{
-		farm:    f,
-		store:   st,
-		mux:     http.NewServeMux(),
-		log:     slogx.Discard(),
-		metrics: telem.Default(),
+		farm:        f,
+		store:       st,
+		mux:         http.NewServeMux(),
+		log:         slogx.Discard(),
+		metrics:     telem.Default(),
+		traceSample: 1,
+		tsum:        dtrace.NewSummary(0, 0),
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /v1/traces/summary", s.handleTraceSummary)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/suites", s.handleSuiteSubmit)
 	s.mux.HandleFunc("GET /v1/suites", s.handleSuiteList)
@@ -137,6 +152,8 @@ func newServer(f *farm.Farm, st *store.Store) *server {
 	s.mux.HandleFunc("/v1/jobs/{id}", methodNotAllowed("GET, DELETE"))
 	s.mux.HandleFunc("/v1/jobs/{id}/events", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/jobs/{id}/profile", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/jobs/{id}/trace", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/traces/summary", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/suites", methodNotAllowed("GET, POST"))
 	s.mux.HandleFunc("/v1/suites/{id}", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/suites/{id}/events", methodNotAllowed("GET"))
@@ -401,6 +418,13 @@ func (s *server) buildTask(req *suite.Spec, origin string) (farm.Task, error) {
 		Origin: origin,
 		Meta:   req,
 	}
+	// Mint the distributed-trace context, seeded from the origin (the
+	// sanitized X-Request-ID, or "journal:<rec>" for replays — a replayed
+	// job always gets a fresh trace root, never its ancestor's). Unsampled
+	// jobs carry no context at all: zero spans recorded anywhere.
+	if tc := dtrace.Mint(origin, s.traceSample); tc.Sampled {
+		t.Trace = tc.String()
+	}
 	if s.coord != nil {
 		t.Run = s.distRun(req, t.Key, t.Label)
 	} else {
@@ -420,8 +444,22 @@ func (s *server) localRun(req *suite.Spec, rv suite.Resolved) func(context.Conte
 		ropts := rv.Options
 		var fp *obs.FrameProfile
 		j, hasJob := farm.JobFromContext(runCtx)
+		// Sampled jobs record "worker"-side spans here too — in local mode
+		// the serving process is the worker, on the same clock, so the
+		// assembled timeline has zero skew and no wire spans.
+		var rec *dtrace.Recorder
+		var stages *dtrace.StageTracker
 		if hasJob {
-			ropts.Progress = func(p core.Progress) { j.Publish("progress", p) }
+			if tc, ok := dtrace.Parse(j.Trace()); ok && tc.Sampled {
+				rec = dtrace.NewRecorder(tc, 0)
+				stages = &dtrace.StageTracker{}
+			}
+		}
+		if hasJob {
+			ropts.Progress = func(p core.Progress) {
+				j.Publish("progress", p)
+				stages.Observe(p.Frame, string(p.Stage), time.Now())
+			}
 		}
 		if req.Profile {
 			// Frame-anatomy capture (GET /v1/jobs/{id}/profile).
@@ -431,7 +469,21 @@ func (s *server) localRun(req *suite.Spec, rv suite.Resolved) func(context.Conte
 			fp = &obs.FrameProfile{}
 			ropts.Profile = fp
 		}
+		runStart := time.Now()
 		res, err := core.RunCachedContext(runCtx, rv.Workload, ropts)
+		if rec != nil {
+			end := time.Now()
+			recordRunSpans(rec, stages, runStart, end, err)
+			s.recordTrace(dtrace.Assembly{
+				Context: rec.Context(), JobID: j.ID(), Label: j.Label(),
+				Tenant: j.Tenant(), Class: j.Class(),
+				Coordinator: coordSpans(j, runStart, end),
+				Worker: &dtrace.WorkerReport{
+					Context: j.Trace(), Worker: "local",
+					Spans: rec.Spans(), Dropped: rec.Dropped(),
+				},
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -460,19 +512,27 @@ func (s *server) distRun(req *suite.Spec, key, label string) func(context.Contex
 			return nil, fmt.Errorf("dist: encode spec: %w", err)
 		}
 		var onProgress func(json.RawMessage)
-		var class string
-		if j, ok := farm.JobFromContext(runCtx); ok {
+		var class, trace, origin string
+		j, hasJob := farm.JobFromContext(runCtx)
+		if hasJob {
 			onProgress = func(raw json.RawMessage) { j.Publish("progress", raw) }
 			class = j.Class()
+			trace = j.Trace()
+			origin = j.Origin()
 		}
+		enqStart := time.Now()
 		id, ch, err := s.coord.Enqueue(dist.Job{
-			Key: key, Label: label, Class: class, Spec: spec, OnProgress: onProgress,
+			Key: key, Label: label, Class: class, Spec: spec,
+			Origin: origin, Trace: trace, OnProgress: onProgress,
 		})
 		if err != nil {
 			return nil, err
 		}
 		select {
 		case o := <-ch:
+			if tc, ok := dtrace.Parse(trace); ok && tc.Sampled {
+				s.recordDistTrace(j, tc, &o, enqStart)
+			}
 			if o.Err != "" {
 				return nil, fmt.Errorf("dist: worker %s: %s", o.Worker, o.Err)
 			}
@@ -772,6 +832,11 @@ func (s *server) latestBWHistograms() map[string][]float64 {
 // instruments all land in the same registry).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	telem.SampleRuntime(s.metrics)
+	if s.admit != nil {
+		// Burn-rate gauges are sliding-window derived; refresh at scrape
+		// time so pim_farm_slo_burn_ratio is current, not last-admission.
+		s.admit.BurnRatios()
+	}
 	s.metrics.Handler().ServeHTTP(w, r)
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/farm/dist"
 	"repro/internal/obs"
+	"repro/internal/obs/dtrace"
 	"repro/internal/obs/slogx"
 	"repro/internal/store"
 	"repro/internal/suite"
@@ -104,7 +105,15 @@ func workerMain(args []string) {
 // differently (simulator version skew). Simulation progress flows through
 // the progress callback, which the coordinator republishes onto the job's
 // SSE stream.
+//
+// When the grant carried a sampled trace context, dist.Worker put a span
+// recorder on ctx: the resolve/tiers/run/simulate-stage spans recorded
+// here ship back to the coordinator inside the completion request and
+// become the worker half of GET /v1/jobs/{id}/trace. Recording is
+// observational-only — it never touches the cache key or the result.
 func execGrant(ctx context.Context, g *dist.Grant, progress func(any)) ([]byte, error) {
+	rec := dtrace.RecorderFrom(ctx)
+	resolveStart := time.Now()
 	var req suite.Spec
 	if err := json.Unmarshal(g.Spec, &req); err != nil {
 		return nil, fmt.Errorf("decode spec: %w", err)
@@ -113,17 +122,31 @@ func execGrant(ctx context.Context, g *dist.Grant, progress func(any)) ([]byte, 
 	if err != nil {
 		return nil, err
 	}
+	rec.Span("worker", "resolve", resolveStart, time.Now(), nil)
 	if rv.Key != g.Key {
 		return nil, fmt.Errorf("spec keys to %q but lease granted %q (simulator version skew?)", rv.Key, g.Key)
 	}
 	opts := rv.Options
-	opts.Progress = func(p core.Progress) { progress(p) }
+	var stages *dtrace.StageTracker
+	if rec != nil {
+		stages = &dtrace.StageTracker{}
+	}
+	opts.Progress = func(p core.Progress) {
+		stages.Observe(p.Frame, string(p.Stage), time.Now())
+		progress(p)
+	}
 	start := time.Now()
 	res, err := core.RunCachedContext(ctx, rv.Workload, opts)
+	if rec != nil {
+		recordRunSpans(rec, stages, start, time.Now(), err)
+	}
 	if err != nil {
 		return nil, err
 	}
-	slog.Default().Debug("job simulated", "job", g.Job, "key", g.Key,
+	slogx.From(ctx).Debug("job simulated", "job", g.Job, "key", g.Key,
 		"dur", time.Since(start).Round(time.Millisecond).String())
-	return core.EncodeResultPayload(res)
+	encStart := time.Now()
+	payload, err := core.EncodeResultPayload(res)
+	rec.Span("worker", "encode", encStart, time.Now(), nil)
+	return payload, err
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs/dtrace"
 	"repro/internal/suite"
 )
 
@@ -139,6 +140,8 @@ type sample struct {
 	E2EMS       float64 // client-observed submit→result latency
 	OK          bool    // job completed successfully
 	ResultHash  string  // canonical result hash (OK only)
+	JobID       string  // server-assigned job ID (OK only)
+	TraceID     string  // distributed-trace ID ("" when unsampled)
 	Err         string
 }
 
@@ -148,6 +151,7 @@ type jobView struct {
 	Tenant      string          `json:"tenant"`
 	Class       string          `json:"class"`
 	AdmitWaitMS float64         `json:"admit_wait_ms"`
+	TraceID     string          `json:"trace_id"`
 	State       string          `json:"state"`
 	Error       string          `json:"error"`
 	Result      json.RawMessage `json:"result"`
@@ -200,6 +204,33 @@ func runLoad(ctx context.Context, cfg loadConfig) ([]sample, time.Duration) {
 	return samples, time.Since(start)
 }
 
+// fetchSlowestStages enriches the slowest-requests table with per-stage
+// durations from each job's distributed trace (GET /v1/jobs/{id}/trace).
+// Best-effort: a job whose trace was unsampled, already pruned, or
+// unreachable keeps an empty breakdown rather than failing the report.
+func fetchSlowestStages(cfg loadConfig, slowest []slowRequest) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := range slowest {
+		r := &slowest[i]
+		if r.TraceID == "" || r.JobID == "" {
+			continue
+		}
+		resp, err := client.Get(cfg.Target + "/v1/jobs/" + r.JobID + "/trace")
+		if err != nil {
+			continue
+		}
+		var tl dtrace.Timeline
+		err = json.NewDecoder(resp.Body).Decode(&tl)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if stages := tl.StageDurations(); len(stages) > 0 {
+			r.StagesMS = stages
+		}
+	}
+}
+
 // submitOne performs one synchronous job submission and classifies the
 // outcome.
 func submitOne(ctx context.Context, client *http.Client, target string, tenant tenantSpec, body suite.Spec) sample {
@@ -245,6 +276,8 @@ func submitOne(ctx context.Context, client *http.Client, target string, tenant t
 			return s
 		}
 		s.AdmitWaitMS = v.AdmitWaitMS
+		s.JobID = v.ID
+		s.TraceID = v.TraceID
 		if v.State != "done" {
 			s.Err = fmt.Sprintf("job %s: %s", v.State, v.Error)
 			return s

@@ -84,6 +84,7 @@ func main() {
 
 	samples, elapsed := runLoad(context.Background(), cfg)
 	rep := buildReport(cfg, samples, elapsed)
+	fetchSlowestStages(cfg, rep.SLO.Slowest)
 
 	if *verify {
 		n, err := verifyResults(cfg, samples)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -137,6 +138,41 @@ func TestBuildReport(t *testing.T) {
 	}
 	if generic.Schema != ReportSchema || len(generic.Benchmarks) != len(rep.Benchmarks) {
 		t.Errorf("round-trip = %+v", generic)
+	}
+}
+
+func TestCollectSlowest(t *testing.T) {
+	var samples []sample
+	for i := 1; i <= 15; i++ {
+		samples = append(samples, sample{
+			Tenant: "a", Class: "interactive", OK: true,
+			E2EMS: float64(i * 10), JobID: fmt.Sprintf("job-%02d", i),
+			TraceID: fmt.Sprintf("trace-%02d", i),
+		})
+	}
+	// Failures never make the table, however slow.
+	samples = append(samples, sample{Tenant: "a", Class: "batch", E2EMS: 9999, Status: 500})
+
+	slow := collectSlowest(samples, 10)
+	if len(slow) != 10 {
+		t.Fatalf("len = %d, want 10", len(slow))
+	}
+	if slow[0].JobID != "job-15" || slow[0].E2EMS != 150 {
+		t.Errorf("slowest = %+v, want job-15 at 150ms", slow[0])
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].E2EMS > slow[i-1].E2EMS {
+			t.Fatalf("not sorted desc at %d: %v > %v", i, slow[i].E2EMS, slow[i-1].E2EMS)
+		}
+	}
+	if slow[9].JobID != "job-06" {
+		t.Errorf("10th slowest = %s, want job-06", slow[9].JobID)
+	}
+
+	// The report embeds and round-trips the table.
+	rep := buildReport(loadConfig{}, samples, time.Second)
+	if len(rep.SLO.Slowest) != 10 || rep.SLO.Slowest[0].TraceID != "trace-15" {
+		t.Errorf("report slowest = %+v", rep.SLO.Slowest)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -53,6 +54,20 @@ type tenantSLO struct {
 	RejectReasons map[string]int `json:"reject_reasons,omitempty"`
 }
 
+// slowRequest is one of the run's slowest completed requests, carrying
+// the handle (job ID + trace ID) into the server's distributed-trace
+// timeline and — when the trace was fetchable — its per-stage breakdown.
+type slowRequest struct {
+	JobID   string  `json:"job_id"`
+	TraceID string  `json:"trace_id,omitempty"`
+	Tenant  string  `json:"tenant"`
+	Class   string  `json:"class"`
+	E2EMS   float64 `json:"e2e_ms"`
+	// StagesMS maps span name → total milliseconds from the job's
+	// assembled trace (run, tiers, simulate/<stage>, wire/..., ...).
+	StagesMS map[string]float64 `json:"stages_ms,omitempty"`
+}
+
 // sloReport is the run-level summary riding alongside the benchmarks.
 type sloReport struct {
 	Target        string               `json:"target"`
@@ -66,6 +81,7 @@ type sloReport struct {
 	Goodput       float64              `json:"goodput_jobs_per_sec"`
 	Classes       map[string]classSLO  `json:"classes"`
 	Tenants       map[string]tenantSLO `json:"tenants"`
+	Slowest       []slowRequest        `json:"slowest,omitempty"`
 	VerifiedSpecs int                  `json:"verified_specs,omitempty"`
 }
 
@@ -132,6 +148,7 @@ func buildReport(cfg loadConfig, samples []sample, elapsed time.Duration) *repor
 	if elapsed > 0 {
 		slo.Goodput = float64(slo.Completed) / elapsed.Seconds()
 	}
+	slo.Slowest = collectSlowest(samples, 10)
 
 	rep := &report{Schema: ReportSchema, SLO: slo}
 	classes := make([]string, 0, len(slo.Classes))
@@ -160,6 +177,38 @@ func buildReport(cfg loadConfig, samples []sample, elapsed time.Duration) *repor
 		})
 	}
 	return rep
+}
+
+// collectSlowest picks the n slowest completed requests, slowest first.
+// Stage breakdowns are filled in later by fetching each job's trace —
+// buildReport itself stays a pure aggregation over the samples.
+func collectSlowest(samples []sample, n int) []slowRequest {
+	var ok []sample
+	for _, s := range samples {
+		if s.OK {
+			ok = append(ok, s)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool {
+		if ok[i].E2EMS != ok[j].E2EMS {
+			return ok[i].E2EMS > ok[j].E2EMS
+		}
+		return ok[i].JobID < ok[j].JobID
+	})
+	if len(ok) > n {
+		ok = ok[:n]
+	}
+	out := make([]slowRequest, 0, len(ok))
+	for _, s := range ok {
+		out = append(out, slowRequest{
+			JobID:   s.JobID,
+			TraceID: s.TraceID,
+			Tenant:  s.Tenant,
+			Class:   s.Class,
+			E2EMS:   s.E2EMS,
+		})
+	}
+	return out
 }
 
 // summarize reduces a distribution to its SLO quantiles.
@@ -213,6 +262,48 @@ func printSummary(w io.Writer, rep *report) {
 		fmt.Fprintf(w, "  tenant %-10s %d arrivals, %d completed, %d rejected %v\n",
 			name, t.Arrivals, t.Completed, t.Rejected, t.RejectReasons)
 	}
+	if len(s.Slowest) > 0 {
+		fmt.Fprintf(w, "  slowest %d requests:\n", len(s.Slowest))
+		for _, r := range s.Slowest {
+			trace := r.TraceID
+			if trace == "" {
+				trace = "-"
+			}
+			fmt.Fprintf(w, "    %8.0f ms  %-11s %-10s job=%s trace=%s%s\n",
+				r.E2EMS, r.Class, r.Tenant, r.JobID, trace, stageSummary(r.StagesMS))
+		}
+	}
+}
+
+// stageSummary renders the top stage durations of one slow request as a
+// trailing "  (run 812ms, simulate/raster 390ms, ...)" annotation. Empty
+// when the trace was unsampled or unfetchable.
+func stageSummary(stages map[string]float64) string {
+	if len(stages) == 0 {
+		return ""
+	}
+	type kv struct {
+		name string
+		ms   float64
+	}
+	top := make([]kv, 0, len(stages))
+	for name, ms := range stages {
+		top = append(top, kv{name, ms})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].ms != top[j].ms {
+			return top[i].ms > top[j].ms
+		}
+		return top[i].name < top[j].name
+	})
+	if len(top) > 4 {
+		top = top[:4]
+	}
+	parts := make([]string, 0, len(top))
+	for _, s := range top {
+		parts = append(parts, fmt.Sprintf("%s %.0fms", s.name, s.ms))
+	}
+	return "  (" + strings.Join(parts, ", ") + ")"
 }
 
 // hashJSON canonically hashes a value through its JSON encoding (Go maps

@@ -6,7 +6,9 @@
 //     rendered as bandwidth timelines, supertile heatmaps and stage tables,
 //     with a side-by-side design comparison when two or more are given;
 //   - pim-render/experiments/v1 files (paperbench -json), rendered as
-//     tables.
+//     tables;
+//   - pim-render/trace/v1 files (pimfarm GET /v1/jobs/{id}/trace),
+//     rendered as distributed-trace span waterfalls.
 //
 // Usage:
 //
@@ -21,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/obs/dtrace"
 	"repro/internal/report"
 )
 
@@ -60,8 +63,8 @@ func main() {
 		fatal(err)
 	}
 	if *out != "-" {
-		fmt.Fprintf(os.Stderr, "pimreport: wrote %s (%d profiles, %d experiment sets)\n",
-			*out, len(in.Profiles), len(in.Experiments))
+		fmt.Fprintf(os.Stderr, "pimreport: wrote %s (%d profiles, %d experiment sets, %d traces)\n",
+			*out, len(in.Profiles), len(in.Experiments), len(in.Traces))
 	}
 }
 
@@ -90,9 +93,15 @@ func addFile(in *report.Input, path string) error {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		in.Experiments = append(in.Experiments, &set)
+	case dtrace.TimelineSchema:
+		var tl dtrace.Timeline
+		if err := json.Unmarshal(data, &tl); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		in.Traces = append(in.Traces, &tl)
 	default:
-		return fmt.Errorf("%s: unsupported schema %q (want %s or %s)",
-			path, probe.Schema, obs.FrameProfileSchema, obs.ExperimentSchemaVersion)
+		return fmt.Errorf("%s: unsupported schema %q (want %s, %s or %s)",
+			path, probe.Schema, obs.FrameProfileSchema, obs.ExperimentSchemaVersion, dtrace.TimelineSchema)
 	}
 	return nil
 }

@@ -170,8 +170,9 @@ type waiter struct {
 
 // Controller is the admission gate. Safe for concurrent use.
 type Controller struct {
-	cfg Config
-	met *admitMetrics
+	cfg  Config
+	met  *admitMetrics
+	burn burnTracker
 
 	mu      sync.Mutex
 	closed  bool
@@ -194,6 +195,7 @@ type admitMetrics struct {
 	rejected sync.Map // tenant → *telem.Counter
 	depth    [numClasses]*telem.Gauge
 	wait     [numClasses]*telem.Histogram
+	burn     [numClasses][]*telem.Gauge // indexed by burnWindows position
 }
 
 func newAdmitMetrics(r *telem.Registry) *admitMetrics {
@@ -205,6 +207,12 @@ func newAdmitMetrics(r *telem.Registry) *admitMetrics {
 		m.wait[c] = r.Histogram("pim_farm_admission_wait_seconds",
 			"Time admitted submissions waited for an admission slot, by class.",
 			nil, telem.Labels{"class": c.String()})
+		m.burn[c] = make([]*telem.Gauge, len(burnWindows))
+		for wi, w := range burnWindows {
+			m.burn[c][wi] = r.Gauge("pim_farm_slo_burn_ratio",
+				"Admission-wait SLO burn ratio (miss fraction over error budget), by class and window.",
+				telem.Labels{"class": c.String(), "window": w.name})
+		}
 	}
 	return m
 }
@@ -343,6 +351,7 @@ func (c *Controller) Admit(ctx context.Context, tenant *Tenant, class Class) (*T
 		c.mu.Unlock()
 		c.met.outcome(tenant.Name, class, "admitted")
 		c.met.wait[class].Observe(0)
+		c.burn.record(class, 0, start)
 		return &Ticket{c: c, tenant: tenant.Name, class: class}, nil
 	}
 	if len(c.queues[class]) >= c.cfg.QueueDepth {
@@ -392,6 +401,7 @@ func (c *Controller) resolveGrant(w *waiter, tenant string, class Class, start t
 	wait := c.cfg.Now().Sub(start)
 	c.met.outcome(tenant, class, "admitted")
 	c.met.wait[class].Observe(wait.Seconds())
+	c.burn.record(class, wait, c.cfg.Now())
 	return &Ticket{c: c, tenant: tenant, class: class, wait: wait}, nil
 }
 
@@ -469,13 +479,18 @@ type Stats struct {
 	QueueDepth   int                   `json:"queue_depth"`
 	Queues       map[string]ClassStats `json:"queues"`
 	HeldByTenant map[string]int        `json:"held_by_tenant,omitempty"`
+	// SLOBurn is the admission-wait burn ratio by class and window (see
+	// BurnRatios); the /varz twin of pim_farm_slo_burn_ratio.
+	SLOBurn map[string]map[string]float64 `json:"slo_burn,omitempty"`
 }
 
 // Stats snapshots the controller.
 func (c *Controller) Stats() Stats {
+	burn := c.BurnRatios()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := Stats{
+		SLOBurn:    burn,
 		Slots:      c.cfg.Slots,
 		FreeSlots:  c.free,
 		QueueDepth: c.cfg.QueueDepth,

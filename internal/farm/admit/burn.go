@@ -1,0 +1,127 @@
+package admit
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO burn-rate accounting. Each admitted submission is graded against a
+// per-class admission-wait objective; the fraction of objective misses
+// over a sliding window, divided by the error budget, is the burn ratio
+// exported as pim_farm_slo_burn_ratio{class,window}. A ratio of 1.0 means
+// the farm is burning budget exactly as fast as the SLO allows; >1 means
+// an alert-worthy burn (the multi-window convention: page when both the
+// short and long windows burn hot, so a brief spike alone does not page).
+const (
+	// burnBucket is the accounting granularity of the sliding windows.
+	burnBucket = 15 * time.Second
+	// burnBuckets is the ring size: enough 15s cells to cover the longest
+	// window (1h) exactly.
+	burnBuckets = 240
+	// burnBudget is the error budget: the tolerated fraction of admitted
+	// submissions that may miss their class's wait objective.
+	burnBudget = 0.01
+)
+
+// burnObjectives are the per-class admission-wait objectives: an admitted
+// submission that waited longer than its class's objective counts against
+// the error budget. Interactive tracks the pimload e2e SLO shape (waits
+// should be near-zero when the farm is healthy); batch tolerates parking
+// behind interactive work.
+var burnObjectives = [numClasses]time.Duration{
+	Interactive: time.Second,
+	Batch:       30 * time.Second,
+}
+
+// burnWindows are the exported sliding windows, in gauge-label form.
+var burnWindows = []struct {
+	name string
+	d    time.Duration
+}{
+	{"5m", 5 * time.Minute},
+	{"1h", time.Hour},
+}
+
+// burnCell is one 15s accounting bucket. epoch identifies which absolute
+// bucket the cell currently holds, so stale cells are reset lazily on
+// write and skipped on read — no background ticker needed.
+type burnCell struct {
+	epoch int64
+	total uint64
+	bad   uint64
+}
+
+// burnTracker grades admissions into per-class bucket rings. The zero
+// value is ready to use.
+type burnTracker struct {
+	mu    sync.Mutex
+	cells [numClasses][burnBuckets]burnCell
+}
+
+// record grades one admitted submission's wait at time now.
+func (b *burnTracker) record(class Class, wait time.Duration, now time.Time) {
+	if class < 0 || class >= numClasses {
+		return
+	}
+	e := now.Unix() / int64(burnBucket/time.Second)
+	c := &b.cells[class][int(e%burnBuckets)]
+	b.mu.Lock()
+	if c.epoch != e {
+		c.epoch = e
+		c.total, c.bad = 0, 0
+	}
+	c.total++
+	if wait > burnObjectives[class] {
+		c.bad++
+	}
+	b.mu.Unlock()
+}
+
+// ratio computes the burn ratio for one class over the window ending at
+// now: (objective-miss fraction) / (error budget). Zero when the window
+// saw no admissions.
+func (b *burnTracker) ratio(class Class, window time.Duration, now time.Time) float64 {
+	if class < 0 || class >= numClasses {
+		return 0
+	}
+	e := now.Unix() / int64(burnBucket/time.Second)
+	span := int64(window / burnBucket)
+	if span < 1 {
+		span = 1
+	}
+	var total, bad uint64
+	b.mu.Lock()
+	for i := range b.cells[class] {
+		if c := &b.cells[class][i]; c.epoch > e-span && c.epoch <= e {
+			total += c.total
+			bad += c.bad
+		}
+	}
+	b.mu.Unlock()
+	if total == 0 {
+		return 0
+	}
+	return float64(bad) / float64(total) / burnBudget
+}
+
+// BurnRatios computes the current burn ratios for every class and window,
+// refreshes the pim_farm_slo_burn_ratio gauges to match, and returns the
+// ratios keyed class → window. pimfarm calls it at every /metrics scrape
+// (gauges are push-style, so scrape-time sync keeps them honest) and
+// folds the returned map into the /varz admit block via Stats.
+func (c *Controller) BurnRatios() map[string]map[string]float64 {
+	now := c.cfg.Now()
+	out := make(map[string]map[string]float64, numClasses)
+	for class := Class(0); class < numClasses; class++ {
+		byWindow := make(map[string]float64, len(burnWindows))
+		for wi, w := range burnWindows {
+			r := c.burn.ratio(class, w.d, now)
+			byWindow[w.name] = r
+			if g := c.met.burn[class][wi]; g != nil {
+				g.Set(r)
+			}
+		}
+		out[class.String()] = byWindow
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package admit
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs/telem"
+)
+
+func TestBurnTrackerRatio(t *testing.T) {
+	var b burnTracker
+	now := time.Unix(1_700_000_000, 0)
+
+	// 98 in-objective admissions, 2 misses → miss fraction 0.02, ratio
+	// 0.02 / 0.01 = 2.0 on every window covering them.
+	for i := 0; i < 98; i++ {
+		b.record(Interactive, 0, now)
+	}
+	b.record(Interactive, 5*time.Second, now)
+	b.record(Interactive, 2*time.Second, now)
+
+	for _, w := range burnWindows {
+		if got := b.ratio(Interactive, w.d, now); got < 1.99 || got > 2.01 {
+			t.Fatalf("ratio(%s) = %v, want 2.0", w.name, got)
+		}
+	}
+	if got := b.ratio(Batch, 5*time.Minute, now); got != 0 {
+		t.Fatalf("batch ratio = %v, want 0 (no admissions)", got)
+	}
+}
+
+func TestBurnTrackerWindowing(t *testing.T) {
+	var b burnTracker
+	now := time.Unix(1_700_000_000, 0)
+
+	// A miss 10 minutes ago falls outside the 5m window but inside 1h.
+	b.record(Batch, time.Hour, now.Add(-10*time.Minute))
+	if got := b.ratio(Batch, 5*time.Minute, now); got != 0 {
+		t.Fatalf("5m ratio = %v, want 0 (miss is 10m old)", got)
+	}
+	if got := b.ratio(Batch, time.Hour, now); got != 100 {
+		t.Fatalf("1h ratio = %v, want 100 (1 of 1 missed)", got)
+	}
+
+	// Ring wrap: samples a full ring-duration apart must not alias into
+	// the same cell.
+	b.record(Batch, 0, now.Add(-time.Duration(burnBuckets)*burnBucket))
+	if got := b.ratio(Batch, time.Hour, now); got != 100 {
+		t.Fatalf("1h ratio after ancient sample = %v, want 100", got)
+	}
+}
+
+func TestControllerBurnRatios(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	c := New(Config{
+		Slots:   2,
+		Metrics: telem.NewRegistry(),
+		Now:     func() time.Time { return now },
+	})
+	defer c.Close()
+
+	tn, err := c.Tenants().Authorize("", "alice")
+	if err != nil {
+		t.Fatalf("authenticate: %v", err)
+	}
+	tk, err := c.Admit(context.Background(), tn, Interactive)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	defer tk.Release()
+
+	got := c.BurnRatios()
+	for _, class := range []string{"interactive", "batch"} {
+		byWindow, ok := got[class]
+		if !ok {
+			t.Fatalf("BurnRatios missing class %q: %v", class, got)
+		}
+		for _, w := range burnWindows {
+			if _, ok := byWindow[w.name]; !ok {
+				t.Fatalf("BurnRatios[%s] missing window %q", class, w.name)
+			}
+		}
+	}
+	// The immediate grant waited 0 < 1s objective: zero burn.
+	if r := got["interactive"]["5m"]; r != 0 {
+		t.Fatalf("interactive 5m burn = %v, want 0", r)
+	}
+	// Stats carries the same map for /varz.
+	if s := c.Stats(); s.SLOBurn == nil || s.SLOBurn["interactive"] == nil {
+		t.Fatalf("Stats().SLOBurn missing: %+v", s.SLOBurn)
+	}
+}

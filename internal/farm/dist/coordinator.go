@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs/dtrace"
 	"repro/internal/obs/telem"
 )
 
@@ -273,6 +274,11 @@ scan:
 		Class:     p.job.Class,
 		Spec:      p.job.Spec,
 		TTLMillis: c.cfg.TTL.Milliseconds(),
+		Origin:    p.job.Origin,
+		Trace:     p.job.Trace,
+		// The grant stamp is t0 of the NTP-style clock-skew estimate the
+		// trace assembly uses to put worker spans on this clock.
+		GrantUnixUS: now.UnixMicro(),
 	}, true
 }
 
@@ -318,9 +324,12 @@ func (c *Coordinator) Progress(leaseID, workerID string, data json.RawMessage) e
 }
 
 // Complete resolves a leased job with the worker's payload or error and
-// releases the lease. ErrGone means the result arrived too late (the
-// lease expired and the job went elsewhere) and was discarded.
-func (c *Coordinator) Complete(leaseID, workerID string, payload []byte, execErr string) error {
+// releases the lease. report, when non-nil, is the worker's trace half;
+// the outcome carries it alongside the lease's coordinator-clock grant
+// and receipt stamps so the dispatcher can skew-correct worker spans.
+// ErrGone means the result arrived too late (the lease expired and the
+// job went elsewhere) and was discarded.
+func (c *Coordinator) Complete(leaseID, workerID string, payload []byte, execErr string, report *dtrace.WorkerReport) error {
 	now := time.Now()
 	c.mu.Lock()
 	w := c.touchWorkerLocked(workerID, now)
@@ -342,7 +351,8 @@ func (c *Coordinator) Complete(leaseID, workerID string, payload []byte, execErr
 	c.mu.Unlock()
 
 	c.met.leaseAge.Observe(now.Sub(l.granted).Seconds())
-	p.ch <- Outcome{Payload: payload, Err: execErr, Worker: workerID, Requeues: requeues}
+	p.ch <- Outcome{Payload: payload, Err: execErr, Worker: workerID, Requeues: requeues,
+		Trace: report, Granted: l.granted, Completed: now}
 	return nil
 }
 

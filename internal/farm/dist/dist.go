@@ -21,6 +21,8 @@ package dist
 import (
 	"encoding/json"
 	"time"
+
+	"repro/internal/obs/dtrace"
 )
 
 // Job is one unit of distributed work handed to the coordinator.
@@ -35,6 +37,12 @@ type Job struct {
 	// are leased ahead of queued batch work; any other value (including
 	// empty) queues at batch priority.
 	Class string
+	// Origin is the sanitized request ID the submission arrived with;
+	// grants carry it so worker log lines correlate end to end.
+	Origin string
+	// Trace is the job's traceparent context ("" when unsampled); grants
+	// carry it and workers record spans against it.
+	Trace string
 	// Spec is the opaque job description a worker's Exec understands
 	// (cmd/pimfarm marshals the canonical pim-render/spec/v1 document
 	// here).
@@ -57,6 +65,14 @@ type Outcome struct {
 	// Requeues counts how many expired leases the job survived before
 	// this outcome.
 	Requeues int
+	// Trace is the worker's half of the job's distributed trace (nil
+	// when the job was unsampled or the worker predates tracing).
+	Trace *dtrace.WorkerReport
+	// Granted/Completed are the resolving lease's coordinator-clock
+	// grant and completion-receipt instants (t0 and t3 of the skew
+	// estimate); zero on failure paths that never held a lease.
+	Granted   time.Time
+	Completed time.Time
 }
 
 // Wire types for the lease protocol. All bodies are JSON; error responses
@@ -81,6 +97,13 @@ type Grant struct {
 	// TTLMillis is the lease duration; the worker should renew at a
 	// comfortable fraction of it (the bundled Worker renews at TTL/3).
 	TTLMillis int64 `json:"ttl_ms"`
+	// Origin is the submission's sanitized request ID, for worker logs.
+	Origin string `json:"origin,omitempty"`
+	// Trace is the job's traceparent context ("" when unsampled).
+	Trace string `json:"trace,omitempty"`
+	// GrantUnixUS is the coordinator-clock grant instant (t0 of the
+	// clock-skew estimate), Unix microseconds.
+	GrantUnixUS int64 `json:"grant_unix_us,omitempty"`
 }
 
 // TTL returns the grant's lease duration.
@@ -104,6 +127,10 @@ type CompleteRequest struct {
 	Worker  string `json:"worker"`
 	Payload []byte `json:"payload,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Trace is the worker's span report for the job: its grant-receive
+	// and send stamps (worker clock) plus the spans it recorded. Nil
+	// when the grant carried no sampled context.
+	Trace *dtrace.WorkerReport `json:"trace,omitempty"`
 }
 
 // WorkerView is one worker's liveness record (the GET /v1/workers body

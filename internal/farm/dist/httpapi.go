@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/obs/dtrace"
 )
 
 // Routes registers the coordinator's lease-protocol endpoints onto mux.
@@ -76,7 +78,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := c.Complete(r.PathValue("id"), req.Worker, req.Payload, req.Error); err != nil {
+	if err := c.Complete(r.PathValue("id"), req.Worker, req.Payload, req.Error, req.Trace); err != nil {
 		jsonError(w, http.StatusGone, err)
 		return
 	}
@@ -208,10 +210,11 @@ func (c *Client) Progress(ctx context.Context, leaseID string, data any) error {
 }
 
 // Complete delivers the result payload (or execution error) for a held
-// lease.
-func (c *Client) Complete(ctx context.Context, leaseID string, payload []byte, execErr string) error {
+// lease, along with the worker's trace report when the grant carried a
+// sampled context.
+func (c *Client) Complete(ctx context.Context, leaseID string, payload []byte, execErr string, report *dtrace.WorkerReport) error {
 	_, err := c.post(ctx, "/v1/leases/"+leaseID+"/complete",
-		CompleteRequest{Worker: c.Worker, Payload: payload, Error: execErr}, nil)
+		CompleteRequest{Worker: c.Worker, Payload: payload, Error: execErr, Trace: report}, nil)
 	return err
 }
 

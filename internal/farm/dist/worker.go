@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs/dtrace"
 	"repro/internal/obs/slogx"
 )
 
@@ -99,9 +100,25 @@ func (w *Worker) loop(ctx context.Context, slot int, poll time.Duration, log *sl
 // TTL/3; a renew answered ErrGone cancels the execution context (the
 // coordinator gave the job to someone else or it was canceled), and the
 // result — if any — is not reported.
+//
+// When the grant carries a sampled trace context, a span recorder rides
+// the execution context (dtrace.RecorderFrom) and the recorded spans —
+// plus this worker's grant-receive and send stamps, the skew anchors —
+// ship back inside the completion request. The per-lease logger carries
+// trace_id/request_id so worker log lines correlate end to end.
 func (w *Worker) runLease(ctx context.Context, g *Grant, log *slog.Logger) {
+	grantRecv := time.Now() // t1 of the clock-skew estimate
+	var rec *dtrace.Recorder
+	if tc, ok := dtrace.Parse(g.Trace); ok && tc.Sampled {
+		rec = dtrace.NewRecorder(tc, 0)
+		log = log.With("trace_id", tc.TraceID)
+	}
+	if g.Origin != "" {
+		log = log.With("request_id", g.Origin)
+	}
 	execCtx, cancelExec := context.WithCancel(ctx)
 	defer cancelExec()
+	execCtx = slogx.WithLogger(dtrace.WithRecorder(execCtx, rec), log)
 
 	var lost bool
 	var mu sync.Mutex
@@ -150,12 +167,23 @@ func (w *Worker) runLease(ctx context.Context, g *Grant, log *slog.Logger) {
 	if execErr != nil {
 		errStr = execErr.Error()
 	}
+	var report *dtrace.WorkerReport
+	if rec != nil {
+		report = &dtrace.WorkerReport{
+			Context:     g.Trace,
+			Worker:      w.Client.Worker,
+			GrantRecvUS: grantRecv.UnixMicro(),
+			SendUS:      time.Now().UnixMicro(), // t2
+			Spans:       rec.Spans(),
+			Dropped:     rec.Dropped(),
+		}
+	}
 	// Report completion with the parent context (exec cancellation must
 	// not block the report); a few retries smooth over transient network
 	// trouble, and ErrGone means the expiry beat us — nothing to do.
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
-		if err = w.Client.Complete(ctx, g.Lease, payload, errStr); err == nil || IsGone(err) || ctx.Err() != nil {
+		if err = w.Client.Complete(ctx, g.Lease, payload, errStr, report); err == nil || IsGone(err) || ctx.Err() != nil {
 			break
 		}
 		sleep(ctx, time.Duration(attempt+1)*200*time.Millisecond)

@@ -86,6 +86,10 @@ type Task struct {
 	// AdmitWait is how long the submission waited for admission before
 	// Submit was called; surfaced on the job view as admit_wait_ms.
 	AdmitWait time.Duration
+	// Trace is the job's distributed-trace context in traceparent wire
+	// form ("" when the submission was unsampled). Observational-only:
+	// it never participates in Key, dedup, or caching.
+	Trace string
 	// Meta is an opaque caller payload surfaced on the Job (pimfarm stores
 	// the parsed request here).
 	Meta any
@@ -350,6 +354,7 @@ func (f *Farm) Submit(ctx context.Context, t Task) (*Job, error) {
 		tenant:    t.Tenant,
 		class:     t.Class,
 		admitWait: t.AdmitWait,
+		trace:     t.Trace,
 		meta:      t.Meta,
 		state:     Queued,
 		enqueued:  now,

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/obs/dtrace"
 )
 
 // State is a job's position in the queued → running → done lifecycle.
@@ -74,6 +76,7 @@ type Job struct {
 	tenant    string
 	class     string
 	admitWait time.Duration
+	trace     string
 	meta      any
 	run       func(ctx context.Context) (any, error)
 
@@ -133,6 +136,9 @@ func (j *Job) Class() string { return j.class }
 // queue before entering the farm (zero when admission was immediate or
 // absent).
 func (j *Job) AdmitWait() time.Duration { return j.admitWait }
+
+// Trace returns the job's traceparent context ("" when unsampled).
+func (j *Job) Trace() string { return j.trace }
 
 // spanName is the label used in trace spans, qualified with the origin
 // and tenant/class so a span in a farm trace can be tied back to the
@@ -283,18 +289,30 @@ type View struct {
 	// Tenant and Class identify who the job was admitted for and at what
 	// priority; AdmitWaitMS is the time the submission spent in the
 	// admission queue (the SLO quantity cmd/pimload aggregates).
-	Tenant      string     `json:"tenant,omitempty"`
-	Class       string     `json:"class,omitempty"`
-	AdmitWaitMS float64    `json:"admit_wait_ms,omitempty"`
-	State       string     `json:"state"`
-	Error       string     `json:"error,omitempty"`
-	Attempts    int        `json:"attempts,omitempty"`
-	Deduped     bool       `json:"deduped,omitempty"`
-	CacheHit    bool       `json:"cache_hit,omitempty"`
-	TierHit     bool       `json:"tier_hit,omitempty"`
-	Enqueued    time.Time  `json:"enqueued"`
-	Started     *time.Time `json:"started,omitempty"`
-	Finished    *time.Time `json:"finished,omitempty"`
+	Tenant      string  `json:"tenant,omitempty"`
+	Class       string  `json:"class,omitempty"`
+	AdmitWaitMS float64 `json:"admit_wait_ms,omitempty"`
+	// TraceID is the job's distributed-trace ID (GET /v1/jobs/{id}/trace
+	// serves the assembled timeline); empty when the job was unsampled.
+	TraceID  string     `json:"trace_id,omitempty"`
+	State    string     `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Attempts int        `json:"attempts,omitempty"`
+	Deduped  bool       `json:"deduped,omitempty"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	TierHit  bool       `json:"tier_hit,omitempty"`
+	Enqueued time.Time  `json:"enqueued"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// traceID extracts the trace-ID component of a traceparent context.
+func traceID(trace string) string {
+	c, ok := dtrace.Parse(trace)
+	if !ok {
+		return ""
+	}
+	return c.TraceID
 }
 
 // View snapshots the job.
@@ -309,6 +327,7 @@ func (j *Job) View() View {
 		Tenant:      j.tenant,
 		Class:       j.class,
 		AdmitWaitMS: float64(j.admitWait) / float64(time.Millisecond),
+		TraceID:     traceID(j.trace),
 		State:       j.state.String(),
 		Attempts:    j.attempts,
 		Deduped:     j.deduped,

@@ -1,0 +1,237 @@
+package dtrace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestContextRoundTrip(t *testing.T) {
+	c := Mint("r-000001", 1)
+	if !c.Valid() || !c.Sampled {
+		t.Fatalf("minted context invalid or unsampled: %+v", c)
+	}
+	wire := c.String()
+	if !strings.HasPrefix(wire, "00-") || !strings.HasSuffix(wire, "-01") {
+		t.Fatalf("bad wire form %q", wire)
+	}
+	got, ok := Parse(wire)
+	if !ok || got != c {
+		t.Fatalf("Parse(%q) = %+v, %v; want %+v", wire, got, ok, c)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"01-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01",
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("b", 16) + "-01",
+		"00-" + strings.Repeat("A", 32) + "-" + strings.Repeat("b", 16) + "-01",
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-1",
+	}
+	for _, s := range bad {
+		if _, ok := Parse(s); ok {
+			t.Errorf("Parse(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestMintUniqueAndSampling(t *testing.T) {
+	a, b := Mint("same-seed", 1), Mint("same-seed", 1)
+	if a.TraceID == b.TraceID {
+		t.Fatalf("two mints with one seed collided: %s", a.TraceID)
+	}
+	if c := Mint("x", 0); c.Sampled {
+		t.Fatalf("sample=0 minted a sampled context")
+	}
+	// Fractional sampling is deterministic per trace ID.
+	c := Mint("y", 0.5)
+	if c.Sampled != sampled(c.TraceID, 0.5) {
+		t.Fatalf("sampling decision not reproducible from trace ID")
+	}
+	// And roughly proportional.
+	hits := 0
+	for i := 0; i < 200; i++ {
+		if Mint("z", 0.5).Sampled {
+			hits++
+		}
+	}
+	if hits < 50 || hits > 150 {
+		t.Fatalf("sample=0.5 hit %d/200 mints", hits)
+	}
+}
+
+func TestRecorderBoundAndNilSafety(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Add(Span{Name: "x"})
+	if nilRec.Spans() != nil || nilRec.Dropped() != 0 || nilRec.Context().Sampled {
+		t.Fatal("nil recorder must be inert")
+	}
+	r := NewRecorder(Mint("s", 1), 3)
+	for i := 0; i < 5; i++ {
+		r.Add(Span{Name: "s", StartUS: int64(i), EndUS: int64(i + 1)})
+	}
+	if len(r.Spans()) != 3 || r.Dropped() != 2 {
+		t.Fatalf("got %d spans, %d dropped; want 3, 2", len(r.Spans()), r.Dropped())
+	}
+}
+
+func TestStageTracker(t *testing.T) {
+	var st StageTracker
+	base := time.UnixMicro(1_000_000)
+	st.Observe(0, "geometry", base)
+	st.Observe(0, "geometry", base.Add(2*time.Millisecond))
+	st.Observe(0, "fragment", base.Add(3*time.Millisecond))
+	st.Observe(0, "fragment", base.Add(9*time.Millisecond))
+	st.Observe(0, "done", base.Add(10*time.Millisecond))
+	first, ok := st.FirstSeen()
+	if !ok || !first.Equal(base) {
+		t.Fatalf("FirstSeen = %v, %v; want %v, true", first, ok, base)
+	}
+	rec := NewRecorder(Mint("s", 1), 0)
+	st.Flush(rec, "simulate")
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (done opens no window): %+v", len(spans), spans)
+	}
+	if spans[0].Name != "simulate/geometry" || spans[1].Name != "simulate/fragment" {
+		t.Fatalf("wrong order/names: %+v", spans)
+	}
+	if got := spans[1].EndUS - spans[1].StartUS; got != 6000 {
+		t.Fatalf("fragment window = %dµs, want 6000", got)
+	}
+	if spans[0].Attrs["frame"] != "0" {
+		t.Fatalf("missing frame attr: %+v", spans[0].Attrs)
+	}
+}
+
+func TestAssembleSkewCorrection(t *testing.T) {
+	// Coordinator clock: grant at 1_000_000µs, completion receipt at
+	// 1_100_000µs. Worker clock runs 500_000µs ahead; each wire hop takes
+	// 2_000µs.
+	const skew, hop = 500_000, 2_000
+	t0 := int64(1_000_000)
+	t1 := t0 + hop + skew
+	t2 := int64(1_098_000) + skew
+	t3 := int64(1_100_000)
+	ctx := Mint("req", 1)
+	tl := Assemble(Assembly{
+		Context: ctx,
+		JobID:   "job-000001",
+		Coordinator: []Span{
+			{Name: "job", Track: "coordinator", StartUS: t0 - 50_000, EndUS: t3},
+			{Name: "dist/lease", Track: "coordinator", StartUS: t0, EndUS: t3},
+		},
+		Worker: &WorkerReport{
+			Worker:      "w1",
+			GrantRecvUS: t1,
+			SendUS:      t2,
+			Spans: []Span{
+				{Name: "run", Track: "worker", StartUS: t1 + 1_000, EndUS: t2 - 1_000},
+			},
+		},
+		GrantUS:    t0,
+		CompleteUS: t3,
+	})
+	if tl.Schema != TimelineSchema || tl.TraceID != ctx.TraceID {
+		t.Fatalf("bad header: %+v", tl)
+	}
+	if tl.SkewUS != skew {
+		t.Fatalf("skew estimate = %d, want %d", tl.SkewUS, skew)
+	}
+	var lease, run *spanAt
+	for _, ev := range tl.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		at := &spanAt{start: ev.Ts, end: ev.Ts + ev.Dur}
+		switch ev.Name {
+		case "dist/lease":
+			lease = at
+		case "run":
+			run = at
+		}
+	}
+	if lease == nil || run == nil {
+		t.Fatalf("missing spans in %+v", tl.TraceEvents)
+	}
+	// Corrected worker span sits inside the coordinator's lease span.
+	if run.start < lease.start || run.end > lease.end {
+		t.Fatalf("worker span [%d,%d] escapes lease span [%d,%d]",
+			run.start, run.end, lease.start, lease.end)
+	}
+	stages := tl.StageDurations()
+	if stages["run"] <= 0 || stages["wire/grant"] <= 0 || stages["wire/complete"] <= 0 {
+		t.Fatalf("missing stage durations: %v", stages)
+	}
+}
+
+type spanAt struct{ start, end int64 }
+
+func TestAssembleClampsWildSkew(t *testing.T) {
+	// A worker whose stamps are garbage must still land inside the lease.
+	t0, t3 := int64(1_000_000), int64(1_010_000)
+	tl := Assemble(Assembly{
+		Context: Mint("req", 1),
+		Coordinator: []Span{
+			{Name: "dist/lease", Track: "coordinator", StartUS: t0, EndUS: t3},
+		},
+		Worker: &WorkerReport{
+			GrantRecvUS: 5, SendUS: 10,
+			Spans: []Span{{Name: "run", Track: "worker", StartUS: 2, EndUS: 1_000_000_000}},
+		},
+		GrantUS: t0, CompleteUS: t3,
+	})
+	for _, ev := range tl.TraceEvents {
+		if ev.Ph != "X" && ev.Name != "run" {
+			continue
+		}
+		if ev.Ph == "X" {
+			start := ev.Ts + tl.BaseUnixUS
+			end := start + ev.Dur
+			if start < t0 || end > t3 {
+				t.Fatalf("span %s [%d,%d] escapes [%d,%d]", ev.Name, start, end, t0, t3)
+			}
+		}
+	}
+}
+
+func TestSummaryQuantiles(t *testing.T) {
+	s := NewSummary(0, 0)
+	for i := 1; i <= 100; i++ {
+		s.Observe("interactive", "acme", map[string]float64{"run": float64(i)})
+	}
+	v := s.Snapshot()
+	if v.Schema != SummarySchema || v.Jobs != 100 {
+		t.Fatalf("bad snapshot header: %+v", v)
+	}
+	q := v.ByClass["interactive"]["run"]
+	if q.Count != 100 || q.P50MS < 45 || q.P50MS > 55 || q.P99MS < 95 {
+		t.Fatalf("bad quantiles: %+v", q)
+	}
+	if _, ok := v.ByTenant["acme"]; !ok {
+		t.Fatalf("tenant grouping missing: %+v", v.ByTenant)
+	}
+}
+
+func TestSummaryBounds(t *testing.T) {
+	s := NewSummary(2, 4)
+	for _, class := range []string{"a", "b", "c"} {
+		s.Observe(class, "", map[string]float64{"run": 1})
+	}
+	if len(s.Snapshot().ByClass) != 2 {
+		t.Fatalf("key cap not enforced: %+v", s.Snapshot().ByClass)
+	}
+	for i := 0; i < 100; i++ {
+		s.Observe("a", "", map[string]float64{"run": float64(i)})
+	}
+	q := s.Snapshot().ByClass["a"]["run"]
+	if q.Count != 101 {
+		t.Fatalf("total count = %d, want 101", q.Count)
+	}
+	// Ring holds only the last 4 samples (96..99).
+	if q.P50MS < 96 {
+		t.Fatalf("ring did not slide: %+v", q)
+	}
+}

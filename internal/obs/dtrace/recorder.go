@@ -1,0 +1,193 @@
+package dtrace
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultMaxSpans bounds how many spans one job may record per process.
+// The cap keeps a pathological job (thousands of frames) from inflating
+// completion payloads; overflow is counted, not silently lost.
+const DefaultMaxSpans = 512
+
+// Span is one recorded interval on one process's clock, in microseconds
+// since the Unix epoch. Spans cross the wire inside completion payloads
+// and are assembled (skew-corrected) into the job timeline.
+type Span struct {
+	Name  string `json:"name"`
+	Track string `json:"track,omitempty"`
+	// StartUS/EndUS are Unix microseconds on the recording process's
+	// clock; Assemble shifts worker spans onto the coordinator's clock.
+	StartUS int64             `json:"start_us"`
+	EndUS   int64             `json:"end_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Recorder collects one job's spans under a bound. The zero of the
+// pointer is inert: every method is nil-safe, so unsampled paths pass a
+// nil recorder and record nothing.
+type Recorder struct {
+	ctx Context
+	max int
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped int
+}
+
+// NewRecorder builds a recorder for one sampled context. max <= 0
+// selects DefaultMaxSpans.
+func NewRecorder(ctx Context, max int) *Recorder {
+	if max <= 0 {
+		max = DefaultMaxSpans
+	}
+	return &Recorder{ctx: ctx, max: max}
+}
+
+// Context returns the trace context the recorder was built for.
+func (r *Recorder) Context() Context {
+	if r == nil {
+		return Context{}
+	}
+	return r.ctx
+}
+
+// Add records one span (dropped, and counted, beyond the cap).
+func (r *Recorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.max {
+		r.dropped++
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Span records one interval from wall-clock instants.
+func (r *Recorder) Span(track, name string, start, end time.Time, attrs map[string]string) {
+	if r == nil {
+		return
+	}
+	r.Add(Span{Name: name, Track: track,
+		StartUS: start.UnixMicro(), EndUS: end.UnixMicro(), Attrs: attrs})
+}
+
+// Spans returns a copy of the recorded spans.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Dropped reports spans lost to the cap.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// maxStageKeys bounds the distinct (frame, stage) windows one tracker
+// holds; a longer animation simply stops opening new windows.
+const maxStageKeys = 256
+
+// StageTracker turns the simulation's progress callbacks into per-frame
+// pipeline-stage spans: the first and last observation of each (frame,
+// stage) pair bound that stage's wall-clock window. Fragment-stage
+// callbacks fire concurrently from shard goroutines, so Observe is
+// mutex-guarded.
+type StageTracker struct {
+	mu    sync.Mutex
+	first time.Time
+	seen  map[stageKey]*stageWindow
+	order []stageKey
+}
+
+type stageKey struct {
+	frame int
+	stage string
+}
+
+type stageWindow struct {
+	first, last time.Time
+}
+
+// Observe records one progress callback. The terminal "done" marker
+// closes the clock but opens no window of its own.
+func (t *StageTracker) Observe(frame int, stage string, now time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.first.IsZero() || now.Before(t.first) {
+		t.first = now
+	}
+	if stage == "done" {
+		return
+	}
+	k := stageKey{frame: frame, stage: stage}
+	w, ok := t.seen[k]
+	if !ok {
+		if len(t.order) >= maxStageKeys {
+			return
+		}
+		if t.seen == nil {
+			t.seen = make(map[stageKey]*stageWindow)
+		}
+		w = &stageWindow{first: now, last: now}
+		t.seen[k] = w
+		t.order = append(t.order, k)
+		return
+	}
+	if now.After(w.last) {
+		w.last = now
+	}
+}
+
+// FirstSeen returns the earliest observation (the moment the simulation
+// actually started computing — everything before it was cache-tier
+// lookup), or false when no callback ever fired (a cache hit).
+func (t *StageTracker) FirstSeen() (time.Time, bool) {
+	if t == nil {
+		return time.Time{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.first, !t.first.IsZero()
+}
+
+// Flush emits one "simulate/<stage>" span per observed (frame, stage)
+// window onto rec, ordered by window start.
+func (t *StageTracker) Flush(rec *Recorder, track string) {
+	if t == nil || rec == nil {
+		return
+	}
+	t.mu.Lock()
+	keys := make([]stageKey, len(t.order))
+	copy(keys, t.order)
+	sort.Slice(keys, func(a, b int) bool {
+		return t.seen[keys[a]].first.Before(t.seen[keys[b]].first)
+	})
+	windows := make([]stageWindow, len(keys))
+	for i, k := range keys {
+		windows[i] = *t.seen[k]
+	}
+	t.mu.Unlock()
+	for i, k := range keys {
+		rec.Span(track, "simulate/"+k.stage, windows[i].first, windows[i].last,
+			map[string]string{"frame": strconv.Itoa(k.frame)})
+	}
+}

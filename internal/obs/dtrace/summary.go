@@ -1,0 +1,160 @@
+package dtrace
+
+import (
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// SummarySchema stamps the GET /v1/traces/summary body.
+const SummarySchema = "pim-render/trace-summary/v1"
+
+// Bounds keeping the aggregator O(1) per server: distinct grouping keys
+// (classes are two; tenants arrive at runtime) and retained samples per
+// (key, stage) ring.
+const (
+	DefaultSummaryKeys    = 64
+	DefaultSummarySamples = 2048
+)
+
+// Summary aggregates per-stage latencies across finished traced jobs,
+// grouped by class and by tenant. Rings bound memory; quantiles are
+// computed at snapshot time through stats.Distribution.
+type Summary struct {
+	mu         sync.Mutex
+	maxKeys    int
+	maxSamples int
+	jobs       uint64
+	byClass    map[string]map[string]*ring
+	byTenant   map[string]map[string]*ring
+}
+
+// ring is a bounded sliding sample window.
+type ring struct {
+	buf  []float64
+	n    int // total observed
+	next int
+}
+
+func (r *ring) observe(v float64, cap int) {
+	if len(r.buf) < cap {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.next] = v
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.n++
+}
+
+// NewSummary builds an aggregator; non-positive bounds select the
+// defaults.
+func NewSummary(maxKeys, maxSamples int) *Summary {
+	if maxKeys <= 0 {
+		maxKeys = DefaultSummaryKeys
+	}
+	if maxSamples <= 0 {
+		maxSamples = DefaultSummarySamples
+	}
+	return &Summary{
+		maxKeys:    maxKeys,
+		maxSamples: maxSamples,
+		byClass:    make(map[string]map[string]*ring),
+		byTenant:   make(map[string]map[string]*ring),
+	}
+}
+
+// Observe folds one finished job's per-stage durations (milliseconds,
+// from Timeline.StageDurations) into the aggregate. Empty class/tenant
+// group under "unknown" / are skipped respectively.
+func (s *Summary) Observe(class, tenant string, stages map[string]float64) {
+	if s == nil || len(stages) == 0 {
+		return
+	}
+	if class == "" {
+		class = "unknown"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs++
+	s.observeLocked(s.byClass, class, stages)
+	if tenant != "" {
+		s.observeLocked(s.byTenant, tenant, stages)
+	}
+}
+
+func (s *Summary) observeLocked(group map[string]map[string]*ring, key string, stages map[string]float64) {
+	rings, ok := group[key]
+	if !ok {
+		if len(group) >= s.maxKeys {
+			return // cardinality cap: new keys stop aggregating
+		}
+		rings = make(map[string]*ring)
+		group[key] = rings
+	}
+	for stage, ms := range stages {
+		r, ok := rings[stage]
+		if !ok {
+			if len(rings) >= s.maxKeys {
+				continue
+			}
+			r = &ring{}
+			rings[stage] = r
+		}
+		r.observe(ms, s.maxSamples)
+	}
+}
+
+// StageQuantiles is one (group, stage) latency digest in milliseconds.
+type StageQuantiles struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// SummaryView is the GET /v1/traces/summary body.
+type SummaryView struct {
+	Schema string `json:"schema"`
+	// Jobs counts traced jobs folded in since the server started.
+	Jobs     uint64                               `json:"jobs"`
+	ByClass  map[string]map[string]StageQuantiles `json:"by_class,omitempty"`
+	ByTenant map[string]map[string]StageQuantiles `json:"by_tenant,omitempty"`
+}
+
+// Snapshot computes the current per-stage quantiles.
+func (s *Summary) Snapshot() SummaryView {
+	v := SummaryView{Schema: SummarySchema}
+	if s == nil {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v.Jobs = s.jobs
+	v.ByClass = snapshotGroup(s.byClass)
+	v.ByTenant = snapshotGroup(s.byTenant)
+	return v
+}
+
+func snapshotGroup(group map[string]map[string]*ring) map[string]map[string]StageQuantiles {
+	if len(group) == 0 {
+		return nil
+	}
+	out := make(map[string]map[string]StageQuantiles, len(group))
+	for key, rings := range group {
+		stages := make(map[string]StageQuantiles, len(rings))
+		for stage, r := range rings {
+			var d stats.Distribution
+			for _, v := range r.buf {
+				d.Observe(v)
+			}
+			stages[stage] = StageQuantiles{
+				Count: r.n,
+				P50MS: d.Percentile(50),
+				P95MS: d.Percentile(95),
+				P99MS: d.Percentile(99),
+			}
+		}
+		out[key] = stages
+	}
+	return out
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/dtrace"
 )
 
 // Input is everything a report can include.
@@ -25,6 +26,9 @@ type Input struct {
 	// Experiments are experiments/v1 documents (paperbench -json output),
 	// rendered as tables after the profiles.
 	Experiments []*obs.ExperimentSet
+	// Traces are trace/v1 job timelines (pimfarm GET /v1/jobs/{id}/trace),
+	// rendered as span waterfalls after the experiments.
+	Traces []*dtrace.Timeline
 }
 
 const style = `body{font-family:sans-serif;margin:24px auto;max-width:900px;color:#222}
@@ -42,8 +46,8 @@ func Generate(w io.Writer, in Input) error {
 	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n")
 	fmt.Fprintf(&b, "<title>%s</title>\n<style>%s</style>\n</head><body>\n", esc(reportTitle(in)), style)
 	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(reportTitle(in)))
-	fmt.Fprintf(&b, `<p class="meta">pimreport %s (%s) &#183; %d profile(s), %d experiment set(s)</p>`+"\n",
-		esc(obs.Version()), esc(obs.GoVersion()), len(in.Profiles), len(in.Experiments))
+	fmt.Fprintf(&b, `<p class="meta">pimreport %s (%s) &#183; %d profile(s), %d experiment set(s), %d trace(s)</p>`+"\n",
+		esc(obs.Version()), esc(obs.GoVersion()), len(in.Profiles), len(in.Experiments), len(in.Traces))
 
 	if len(in.Profiles) > 1 {
 		writeComparison(&b, in.Profiles)
@@ -53,6 +57,9 @@ func Generate(w io.Writer, in Input) error {
 	}
 	for _, set := range in.Experiments {
 		writeExperimentSet(&b, set)
+	}
+	for _, tl := range in.Traces {
+		writeTrace(&b, tl)
 	}
 	b.WriteString("</body></html>\n")
 	_, err := io.WriteString(w, b.String())
@@ -66,6 +73,9 @@ func reportTitle(in Input) string {
 	}
 	if len(in.Profiles) > 1 {
 		return "Frame anatomy comparison"
+	}
+	if len(in.Profiles) == 0 && len(in.Experiments) == 0 && len(in.Traces) > 0 {
+		return "Job trace timelines"
 	}
 	return "pim-render report"
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/obs/dtrace"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden report fixture")
@@ -124,6 +125,66 @@ func TestReportSelfContained(t *testing.T) {
 		if !strings.Contains(html, needle) {
 			t.Fatalf("report is missing %q", needle)
 		}
+	}
+}
+
+// TestTraceWaterfall: a trace/v1 timeline renders as a well-formed span
+// chart with both process tracks, every span bar, and the skew note.
+func TestTraceWaterfall(t *testing.T) {
+	tl := &dtrace.Timeline{
+		Schema:  dtrace.TimelineSchema,
+		TraceID: "a3f2c1d4e5b6a7f8a3f2c1d4e5b6a7f8",
+		JobID:   "job-0001",
+		Label:   "doom3/atfim 320x240",
+		Tenant:  "alice",
+		Class:   "interactive",
+		Worker:  "worker-1",
+		SkewUS:  -1250,
+		TraceEvents: []obs.ChromeEvent{
+			{Name: "job", Ph: "X", Ts: 0, Dur: 5000, Pid: 1, Tid: 1},
+			{Name: "admit", Ph: "X", Ts: 0, Dur: 200, Pid: 1, Tid: 1},
+			{Name: "dist/lease", Ph: "X", Ts: 500, Dur: 4200, Pid: 1, Tid: 1},
+			{Name: "run", Ph: "X", Ts: 800, Dur: 3500, Pid: 2, Tid: 1},
+			{Name: "simulate/raster", Ph: "X", Ts: 1000, Dur: 2000, Pid: 2, Tid: 1},
+			{Name: "meta", Ph: "M", Pid: 1, Tid: 0}, // non-X events are skipped
+		},
+	}
+	var buf bytes.Buffer
+	if err := Generate(&buf, Input{Traces: []*dtrace.Timeline{tl}}); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, needle := range []string{
+		"Job trace", "doom3/atfim 320x240", "job-0001", "worker worker-1",
+		"coordinator", "dist/lease", "simulate/raster", "skew",
+	} {
+		if !strings.Contains(html, needle) {
+			t.Fatalf("trace report missing %q", needle)
+		}
+	}
+	svgs := svgBlock.FindAllString(html, -1)
+	if len(svgs) != 1 {
+		t.Fatalf("found %d SVG blocks, want 1", len(svgs))
+	}
+	var node struct{}
+	if err := xml.Unmarshal([]byte(svgs[0]), &node); err != nil {
+		t.Fatalf("waterfall SVG is not well-formed XML: %v", err)
+	}
+	// 5 X events → 5 bars; the M event contributes none.
+	if got := strings.Count(svgs[0], "<rect"); got != 5 {
+		t.Fatalf("waterfall has %d bars, want 5", got)
+	}
+	if strings.Contains(html, "<script") {
+		t.Fatal("trace report contains a script")
+	}
+
+	// An empty timeline degrades to a note, not a broken chart.
+	buf.Reset()
+	if err := Generate(&buf, Input{Traces: []*dtrace.Timeline{{Schema: dtrace.TimelineSchema, JobID: "job-2"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no spans recorded") {
+		t.Fatal("empty timeline should render a no-spans note")
 	}
 }
 

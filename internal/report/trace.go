@@ -1,0 +1,165 @@
+package report
+
+// Distributed-trace waterfall rendering: one pim-render/trace/v1 timeline
+// (GET /v1/jobs/{id}/trace) becomes a horizontal span chart — coordinator
+// spans on top, worker spans below, one bar per complete event, laid out
+// on the skew-corrected microsecond axis the assembler produced. The same
+// no-JS inline-SVG discipline as every other chart in this package.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/obs/dtrace"
+)
+
+// traceTrackName labels the two process tracks of an assembled timeline.
+func traceTrackName(pid int) string {
+	switch pid {
+	case 1:
+		return "coordinator"
+	case 2:
+		return "worker"
+	default:
+		return fmt.Sprintf("pid %d", pid)
+	}
+}
+
+// traceSpanColor keys bar color off the span family so related spans read
+// as one visual group (all simulate stages share a hue, wire spans
+// another) regardless of row order.
+func traceSpanColor(name string) string {
+	switch {
+	case name == "job":
+		return palette[7] // neutral grey root
+	case strings.HasPrefix(name, "wire/"):
+		return palette[3]
+	case strings.HasPrefix(name, "simulate/"):
+		return palette[2]
+	case strings.HasPrefix(name, "dist/"):
+		return palette[1]
+	case name == "run":
+		return palette[0]
+	default:
+		return palette[5]
+	}
+}
+
+// writeTrace renders one job timeline: header with identity and skew,
+// then the span waterfall.
+func writeTrace(b *strings.Builder, tl *dtrace.Timeline) {
+	title := "Job trace"
+	if tl.Label != "" {
+		title += " — " + tl.Label
+	}
+	fmt.Fprintf(b, "<h2>%s</h2>\n", esc(title))
+	meta := fmt.Sprintf("trace %s &#183; job %s", esc(tl.TraceID), esc(tl.JobID))
+	if tl.Worker != "" {
+		meta += " &#183; worker " + esc(tl.Worker)
+	}
+	if tl.Tenant != "" {
+		meta += " &#183; tenant " + esc(tl.Tenant)
+	}
+	if tl.Class != "" {
+		meta += " &#183; class " + esc(tl.Class)
+	}
+	if tl.SkewUS != 0 {
+		meta += fmt.Sprintf(" &#183; clock skew %s&#181;s corrected", esc(fnum(float64(tl.SkewUS))))
+	}
+	if tl.DroppedSpans > 0 {
+		meta += fmt.Sprintf(" &#183; %d spans dropped at cap", tl.DroppedSpans)
+	}
+	fmt.Fprintf(b, `<p class="meta">%s</p>`+"\n", meta)
+	traceWaterfall(b, tl.TraceEvents)
+}
+
+// traceWaterfall lays complete ("X") events out as one bar per row,
+// grouped by process track and ordered by start time within each.
+func traceWaterfall(b *strings.Builder, events []obs.ChromeEvent) {
+	var spans []obs.ChromeEvent
+	for _, ev := range events {
+		if ev.Ph == "X" {
+			spans = append(spans, ev)
+		}
+	}
+	if len(spans) == 0 {
+		b.WriteString(`<p class="meta">no spans recorded</p>` + "\n")
+		return
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Pid != spans[j].Pid {
+			return spans[i].Pid < spans[j].Pid
+		}
+		if spans[i].Ts != spans[j].Ts {
+			return spans[i].Ts < spans[j].Ts
+		}
+		return spans[i].Dur > spans[j].Dur
+	})
+	var endUS float64
+	for _, ev := range spans {
+		if end := float64(ev.Ts + ev.Dur); end > endUS {
+			endUS = end
+		}
+	}
+	if endUS <= 0 {
+		endUS = 1
+	}
+
+	const (
+		w    = 820.0
+		ml   = 150.0
+		mr   = 14.0
+		mt   = 18.0
+		mb   = 30.0
+		rowH = 16.0
+	)
+	pw := w - ml - mr
+	h := mt + rowH*float64(len(spans)) + mb
+	xOf := func(us float64) float64 { return ml + pw*us/endUS }
+
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %g %.1f" width="%g" height="%.1f" font-family="sans-serif" font-size="10">`,
+		w, h, w, h)
+
+	// Time gridlines in milliseconds.
+	for i := 0; i <= 4; i++ {
+		us := endUS * float64(i) / 4
+		x := xOf(us)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%g" x2="%.1f" y2="%.1f" stroke="#dddddd"/>`, x, mt, x, h-mb)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="#333333">%s</text>`, x, h-mb+12, esc(fnum(us/1000)))
+	}
+	fmt.Fprintf(b, `<text x="%g" y="%.1f" text-anchor="middle" fill="#333333">ms since trace start</text>`, ml+pw/2, h-mb+25)
+
+	// Track separators: a label at each pid's first row.
+	lastPid := -1
+	for i, ev := range spans {
+		y := mt + rowH*float64(i)
+		if ev.Pid != lastPid {
+			lastPid = ev.Pid
+			fmt.Fprintf(b, `<text x="1" y="%.1f" fill="#555555" font-weight="bold">%s</text>`, y+rowH-4, esc(traceTrackName(ev.Pid)))
+			if i > 0 {
+				fmt.Fprintf(b, `<line x1="1" y1="%.1f" x2="%g" y2="%.1f" stroke="#cccccc"/>`, y, w-mr, y)
+			}
+		}
+		x0 := xOf(float64(ev.Ts))
+		bw := pw * float64(ev.Dur) / endUS
+		if bw < 1 {
+			bw = 1
+		}
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" opacity="0.85"/>`,
+			x0, y+2, bw, rowH-4, traceSpanColor(ev.Name))
+		label := fmt.Sprintf("%s %sms", ev.Name, fnum(float64(ev.Dur)/1000))
+		// Put the label inside wide bars, after narrow ones; flip to the
+		// left side when a right-edge bar would push the text off-canvas.
+		lx, anchor := x0+bw+4, "start"
+		if bw > 160 {
+			lx, anchor = x0+4, "start"
+		} else if x0+bw > ml+pw-170 {
+			lx, anchor = x0-4, "end"
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="%s" fill="#333333">%s</text>`,
+			lx, y+rowH-4, anchor, esc(label))
+	}
+	b.WriteString("</svg>\n")
+}
